@@ -1,0 +1,105 @@
+// Solver ablation: what the MILP engineering buys. Runs the exact ILP over
+// hard instances (long chains, tight capacity) with MIR cuts and the
+// heuristic warm start independently disabled, reporting nodes explored
+// and wall time. (DESIGN.md S4 calls these out as the two levers that took
+// worst-case instances from 200k nodes / ~10 s to hundreds of nodes.)
+#include <algorithm>
+#include <iostream>
+
+#include "core/heuristic_matching.h"
+#include "core/ilp_exact.h"
+#include "ilp/branch_and_bound.h"
+#include "sim/runner.h"
+#include "sim/workload.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mecra;
+
+struct Variant {
+  const char* name;
+  bool mir_cuts;
+  bool warm_start;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20200817));
+  const auto trials = static_cast<std::size_t>(
+      args.get_int("trials", static_cast<std::int64_t>(
+                                 sim::trials_from_env(10))));
+  const double time_limit = args.get_double("time-limit", 5.0);
+
+  std::cout << "=== Solver ablation: MIR cuts x warm start ===\n"
+            << "instances: SFC length 20, residual 25%, " << trials
+            << " seeds, " << time_limit << "s cap per solve\n\n";
+
+  const Variant variants[] = {
+      {"cuts + warm start", true, true},
+      {"cuts only", true, false},
+      {"warm start only", false, true},
+      {"neither", false, false},
+  };
+
+  util::Table table({"variant", "mean nodes", "max nodes", "mean ms",
+                     "max ms", "timeouts"});
+  for (const Variant& variant : variants) {
+    util::Accumulator nodes;
+    util::Accumulator ms;
+    std::size_t timeouts = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      sim::ScenarioParams params;
+      params.request.chain_length_low = 20;
+      params.request.chain_length_high = 20;
+      util::Rng rng(util::derive_seed(seed, t));
+      auto scenario = sim::make_scenario(params, rng);
+      if (!scenario.has_value()) continue;
+      const auto& inst = scenario->instance;
+
+      auto agg = core::build_aggregated_model(inst, variant.mir_cuts);
+      std::vector<double> warm;
+      if (variant.warm_start) {
+        core::AugmentOptions h;
+        h.trim_to_expectation = false;
+        const auto heur = core::augment_heuristic(inst, h);
+        warm.assign(agg.model.num_variables(), 0.0);
+        for (const auto& p : heur.placements) {
+          const auto& fn = inst.functions[p.chain_pos];
+          const auto it = std::lower_bound(fn.allowed.begin(),
+                                           fn.allowed.end(), p.cloudlet);
+          const auto a = static_cast<std::size_t>(it - fn.allowed.begin());
+          warm[agg.y_of[p.chain_pos][a]] += 1.0;
+        }
+        for (std::size_t i = 0; i < inst.functions.size(); ++i) {
+          for (std::uint32_t k = 1; k <= heur.secondaries[i]; ++k) {
+            warm[agg.t_of[i][k - 1]] = 1.0;
+          }
+        }
+      }
+
+      ilp::IlpOptions opt;
+      opt.time_limit_seconds = time_limit;
+      util::Timer timer;
+      const auto sol = ilp::BranchAndBoundSolver(opt).solve(
+          agg.model, agg.is_integer, warm);
+      ms.add(timer.elapsed_ms());
+      nodes.add(static_cast<double>(sol.nodes_explored));
+      if (sol.status == ilp::IlpStatus::kFeasible ||
+          sol.status == ilp::IlpStatus::kLimit) {
+        ++timeouts;
+      }
+    }
+    table.add_row({std::string(variant.name), util::fmt(nodes.mean(), 0),
+                   util::fmt(nodes.max(), 0), util::fmt(ms.mean(), 1),
+                   util::fmt(ms.max(), 1),
+                   std::to_string(timeouts) + "/" + std::to_string(trials)});
+  }
+  table.print(std::cout);
+  return 0;
+}

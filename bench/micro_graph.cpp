@@ -1,0 +1,75 @@
+// Microbenchmarks for the graph substrate: topology generation (the GT-ITM
+// Waxman model the experiments use), BFS neighborhoods, and the full
+// scenario builder.
+#include <benchmark/benchmark.h>
+
+#include "graph/algorithms.h"
+#include "graph/topology.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace mecra;
+
+void BM_WaxmanGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    auto t = graph::waxman({.num_nodes = n}, rng);
+    benchmark::DoNotOptimize(t.graph.num_edges());
+  }
+}
+BENCHMARK(BM_WaxmanGeneration)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_TransitStubGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    auto t = graph::transit_stub({}, rng);
+    benchmark::DoNotOptimize(t.graph.num_edges());
+  }
+}
+BENCHMARK(BM_TransitStubGeneration);
+
+void BM_BfsHops(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto t =
+      graph::waxman({.num_nodes = static_cast<std::size_t>(state.range(0))},
+                    rng);
+  for (auto _ : state) {
+    auto d = graph::bfs_hops(t.graph, 0);
+    benchmark::DoNotOptimize(d.back());
+  }
+}
+BENCHMARK(BM_BfsHops)->Arg(100)->Arg(400);
+
+void BM_LHopNeighborhoods(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto t = graph::waxman({.num_nodes = 100}, rng);
+  const auto l = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    for (graph::NodeId v = 0; v < 100; ++v) {
+      auto n = graph::l_hop_neighbors(t.graph, v, l);
+      benchmark::DoNotOptimize(n.size());
+    }
+  }
+}
+BENCHMARK(BM_LHopNeighborhoods)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ScenarioBuild(benchmark::State& state) {
+  sim::ScenarioParams params;
+  params.request.chain_length_low = 8;
+  params.request.chain_length_high = 8;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    auto s = sim::make_scenario(params, rng);
+    benchmark::DoNotOptimize(s.has_value());
+  }
+}
+BENCHMARK(BM_ScenarioBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

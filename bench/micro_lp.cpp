@@ -1,0 +1,68 @@
+// Microbenchmarks for the LP/ILP substrate: simplex solves of the actual
+// BMCGAP relaxations at several instance sizes, and full branch-and-bound
+// runs of the exact algorithm.
+#include <benchmark/benchmark.h>
+
+#include "core/ilp_exact.h"
+#include "ilp/branch_and_bound.h"
+#include "lp/simplex.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace mecra;
+
+sim::Scenario scenario_for(std::size_t chain_len, double residual) {
+  sim::ScenarioParams params;
+  params.request.chain_length_low = chain_len;
+  params.request.chain_length_high = chain_len;
+  params.residual_fraction = residual;
+  util::Rng rng(0xBEEF + chain_len);
+  auto s = sim::make_scenario(params, rng);
+  MECRA_CHECK(s.has_value());
+  return std::move(*s);
+}
+
+void BM_SimplexPerItemRelaxation(benchmark::State& state) {
+  const auto s = scenario_for(static_cast<std::size_t>(state.range(0)), 0.25);
+  auto model = core::build_per_item_model(s.instance,
+                                          /*with_prefix_cuts=*/false);
+  lp::SimplexSolver solver;
+  for (auto _ : state) {
+    auto sol = solver.solve(model.model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  state.counters["vars"] = static_cast<double>(model.model.num_variables());
+  state.counters["rows"] =
+      static_cast<double>(model.model.num_constraints());
+}
+BENCHMARK(BM_SimplexPerItemRelaxation)->Arg(4)->Arg(8)->Arg(12)->Arg(20);
+
+void BM_SimplexAggregatedRelaxation(benchmark::State& state) {
+  const auto s = scenario_for(static_cast<std::size_t>(state.range(0)), 0.25);
+  auto model = core::build_aggregated_model(s.instance);
+  lp::SimplexSolver solver;
+  for (auto _ : state) {
+    auto sol = solver.solve(model.model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  state.counters["vars"] = static_cast<double>(model.model.num_variables());
+}
+BENCHMARK(BM_SimplexAggregatedRelaxation)->Arg(4)->Arg(8)->Arg(12)->Arg(20);
+
+void BM_BranchAndBoundExact(benchmark::State& state) {
+  const auto s = scenario_for(static_cast<std::size_t>(state.range(0)), 0.25);
+  core::AugmentOptions opt;
+  opt.ilp.time_limit_seconds = 2.0;
+  for (auto _ : state) {
+    auto r = core::augment_ilp(s.instance, opt);
+    benchmark::DoNotOptimize(r.achieved_reliability);
+  }
+  state.counters["items"] = static_cast<double>(s.instance.num_items());
+}
+BENCHMARK(BM_BranchAndBoundExact)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Microbenchmarks for the matching substrate: min-cost maximum matching on
+// random bipartite graphs shaped like Algorithm 2's auxiliary graphs
+// (few cloudlets x many items), and the min-cost-flow twin.
+#include <benchmark/benchmark.h>
+
+#include "matching/hungarian.h"
+#include "matching/min_cost_flow.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mecra;
+
+std::vector<matching::BipartiteEdge> random_edges(std::size_t nl,
+                                                  std::size_t nr,
+                                                  double density,
+                                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<matching::BipartiteEdge> edges;
+  for (std::uint32_t l = 0; l < nl; ++l) {
+    for (std::uint32_t r = 0; r < nr; ++r) {
+      if (rng.bernoulli(density)) {
+        edges.push_back({l, r, rng.uniform(0.1, 10.0)});
+      }
+    }
+  }
+  return edges;
+}
+
+void BM_MinCostMaxMatching(benchmark::State& state) {
+  const auto nl = static_cast<std::size_t>(state.range(0));
+  const auto nr = static_cast<std::size_t>(state.range(1));
+  const auto edges = random_edges(nl, nr, 0.5, 42);
+  for (auto _ : state) {
+    auto m = matching::min_cost_max_matching(nl, nr, edges);
+    benchmark::DoNotOptimize(m.total_cost);
+  }
+  state.counters["edges"] = static_cast<double>(edges.size());
+}
+// Cloudlets x items shapes from the paper's sweeps.
+BENCHMARK(BM_MinCostMaxMatching)
+    ->Args({10, 50})
+    ->Args({10, 300})
+    ->Args({10, 1000})
+    ->Args({50, 1000});
+
+void BM_MinCostFlowAssignment(benchmark::State& state) {
+  const auto nl = static_cast<std::size_t>(state.range(0));
+  const auto nr = static_cast<std::size_t>(state.range(1));
+  const auto edges = random_edges(nl, nr, 0.5, 42);
+  for (auto _ : state) {
+    matching::MinCostFlow flow(nl + nr + 2);
+    const auto s = static_cast<std::uint32_t>(nl + nr);
+    const auto t = static_cast<std::uint32_t>(nl + nr + 1);
+    for (std::uint32_t l = 0; l < nl; ++l) flow.add_arc(s, l, 1.0, 0.0);
+    for (std::uint32_t r = 0; r < nr; ++r) {
+      flow.add_arc(static_cast<std::uint32_t>(nl + r), t, 1.0, 0.0);
+    }
+    for (const auto& e : edges) {
+      flow.add_arc(e.left, static_cast<std::uint32_t>(nl + e.right), 1.0,
+                   e.cost);
+    }
+    auto result = flow.solve(s, t);
+    benchmark::DoNotOptimize(result.total_cost);
+  }
+}
+BENCHMARK(BM_MinCostFlowAssignment)->Args({10, 300})->Args({10, 1000});
+
+}  // namespace
+
+BENCHMARK_MAIN();

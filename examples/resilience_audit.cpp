@@ -1,0 +1,86 @@
+// Resilience audit: an operator has degraded racks (per-cloudlet
+// availability < 1) and wants placements that respect that. The example
+// compares the paper's homogeneous heuristic against the heterogeneous
+// greedy extension on the same instance, then audits both plans with
+// Monte-Carlo failure injection — including correlated cloudlet outages.
+//
+//   ./resilience_audit [--seed=N] [--outage=Q] [--epochs=N]
+#include <iostream>
+
+#include "core/deployment.h"
+#include "core/hetero_greedy.h"
+#include "core/heuristic_matching.h"
+#include "failsim/failsim.h"
+#include "sim/workload.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mecra;
+  const util::CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 33));
+  const double outage = args.get_double("outage", 0.03);
+  const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 50000));
+
+  sim::ScenarioParams params;
+  params.request.chain_length_low = 6;
+  params.request.chain_length_high = 6;
+  params.residual_fraction = 0.5;
+  util::Rng rng(seed);
+  auto scenario = sim::make_scenario(params, rng);
+  if (!scenario.has_value()) {
+    std::cerr << "could not admit the request\n";
+    return 1;
+  }
+
+  // Availability profile: a third of the cloudlets run on degraded racks.
+  std::vector<double> availability(scenario->network.num_nodes(), 1.0);
+  {
+    util::Rng avail_rng(seed + 1);
+    for (graph::NodeId v : scenario->network.cloudlets()) {
+      if (avail_rng.bernoulli(1.0 / 3.0)) {
+        availability[v] = avail_rng.uniform(0.80, 0.95);
+      }
+    }
+  }
+  std::cout << "degraded cloudlets:";
+  for (graph::NodeId v : scenario->network.cloudlets()) {
+    if (availability[v] < 1.0) {
+      std::cout << " " << v << "(" << util::fmt(availability[v], 2) << ")";
+    }
+  }
+  std::cout << "\n\n";
+
+  // Plan A: the paper's heuristic, blind to availability.
+  const auto blind = core::augment_heuristic(scenario->instance);
+  // Plan B: the availability-aware greedy extension.
+  const auto aware =
+      core::augment_hetero_greedy(scenario->instance, availability);
+
+  util::Table table({"plan", "backups", "claimed (Eq.1)",
+                     "true (availability-aware)", "empirical", "with " +
+                         util::fmt_pct(outage, 0) + " outages"});
+  const auto audit = [&](const char* name,
+                         const core::AugmentationResult& result) {
+    const auto d =
+        core::make_deployment(scenario->instance, result, availability);
+    util::Rng inj(seed + 2);
+    const auto mc = failsim::inject_failures(d, {.epochs = epochs}, inj);
+    table.add_row(
+        {name, std::to_string(result.placements.size()),
+         util::fmt(result.achieved_reliability, 4),
+         util::fmt(failsim::analytic_reliability(d), 4),
+         util::fmt(mc.empirical_reliability, 4) + " ±" +
+             util::fmt(mc.confidence_halfwidth, 4),
+         util::fmt(failsim::analytic_reliability_with_outages(d, outage),
+                   4)});
+  };
+  audit("homogeneous heuristic", blind);
+  audit("availability-aware greedy", aware.result);
+  table.print(std::cout);
+
+  std::cout << "\nthe homogeneous plan's Eq. (1) claim overstates what "
+               "degraded racks deliver; the aware plan steers backups to "
+               "healthy cloudlets.\n";
+  return 0;
+}

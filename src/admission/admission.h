@@ -1,0 +1,69 @@
+// Request admission: placing the PRIMARY VNF instance of every function in
+// an SFC onto cloudlets (Section 4.1). Two policies are provided:
+//
+//  * random_admission — the policy the paper's experiments use ("Each VNF
+//    instance in the primary SFC deployed randomly into cloudlets").
+//  * dag_admission — the maximum-reliability admission framework of
+//    Section 4.1 (following reference [15]): a layered DAG whose layer i
+//    holds the candidate cloudlets for f_i; a shortest s_j -> t_j path under
+//    -log reliability edge weights yields the most reliable placement.
+//    With the paper's uniform per-function reliabilities every placement
+//    ties, so the framework also supports an optional per-cloudlet hosting
+//    availability factor and a per-hop routing penalty, both defaulting to
+//    the paper's assumptions (1.0 and 0).
+//
+// Admission CONSUMES residual capacity on the network for each placed
+// primary; callers that only probe should work on a copy.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mec/network.h"
+#include "mec/request.h"
+#include "mec/vnf.h"
+#include "util/rng.h"
+
+namespace mecra::admission {
+
+/// Cloudlet hosting each primary VNF instance, indexed by chain position.
+struct PrimaryPlacement {
+  std::vector<graph::NodeId> cloudlet_of;
+
+  [[nodiscard]] std::size_t length() const noexcept {
+    return cloudlet_of.size();
+  }
+};
+
+/// Initial reliability of the admitted request: prod_i r_{f_i} (primaries
+/// only, Eq. 1 with one instance each).
+[[nodiscard]] double initial_reliability(const mec::VnfCatalog& catalog,
+                                         const mec::SfcRequest& request);
+
+/// Places each primary on a uniformly random cloudlet with enough residual
+/// capacity, consuming it. Returns nullopt (consuming nothing) when some
+/// function cannot fit anywhere.
+[[nodiscard]] std::optional<PrimaryPlacement> random_admission(
+    mec::MecNetwork& network, const mec::VnfCatalog& catalog,
+    const mec::SfcRequest& request, util::Rng& rng);
+
+struct DagAdmissionOptions {
+  /// Per-cloudlet availability multiplier applied to every instance placed
+  /// there; empty means 1.0 everywhere (the paper's uniform assumption).
+  std::vector<double> host_availability;
+  /// Additive -log-reliability penalty per topology hop between consecutive
+  /// chain cloudlets (and from/to the request endpoints). 0 reproduces the
+  /// pure max-reliability objective.
+  double hop_penalty = 0.0;
+};
+
+/// Layered-DAG admission: maximizes the placement reliability
+/// prod_i (r_{f_i} * availability(v_i)) minus hop penalties, subject to
+/// residual capacities (greedy per-path capacity check: the chosen path is
+/// recomputed with saturated cloudlets removed until it fits). Consumes
+/// capacity on success.
+[[nodiscard]] std::optional<PrimaryPlacement> dag_admission(
+    mec::MecNetwork& network, const mec::VnfCatalog& catalog,
+    const mec::SfcRequest& request, const DagAdmissionOptions& options = {});
+
+}  // namespace mecra::admission

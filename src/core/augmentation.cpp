@@ -1,0 +1,113 @@
+#include "core/augmentation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mecra::core {
+
+void finalize_result(const BmcgapInstance& instance,
+                     AugmentationResult& result) {
+  result.secondaries.assign(instance.functions.size(), 0);
+  std::vector<double> extra_load(instance.cloudlets.size(), 0.0);
+  for (const SecondaryPlacement& p : result.placements) {
+    MECRA_CHECK(p.chain_pos < instance.functions.size());
+    ++result.secondaries[p.chain_pos];
+    extra_load[instance.cloudlet_index(p.cloudlet)] +=
+        instance.functions[p.chain_pos].demand;
+  }
+
+  result.initial_reliability = instance.initial_reliability;
+  result.achieved_reliability =
+      instance.reliability_for_counts(result.secondaries);
+  result.expectation_met =
+      result.achieved_reliability >= instance.expectation - 1e-12;
+
+  result.objective_gain = 0.0;
+  for (std::size_t i = 0; i < instance.functions.size(); ++i) {
+    for (std::uint32_t k = 1; k <= result.secondaries[i]; ++k) {
+      result.objective_gain +=
+          mec::marginal_gain(instance.functions[i].reliability, k);
+    }
+  }
+
+  result.usage_ratio.assign(instance.cloudlets.size(), 0.0);
+  double sum = 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < instance.cloudlets.size(); ++c) {
+    const double used_before = instance.capacity[c] - instance.residual[c];
+    const double ratio =
+        (used_before + extra_load[c]) / instance.capacity[c];
+    result.usage_ratio[c] = ratio;
+    sum += ratio;
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  if (instance.cloudlets.empty()) {
+    result.avg_usage = result.min_usage = result.max_usage = 0.0;
+  } else {
+    result.avg_usage = sum / static_cast<double>(instance.cloudlets.size());
+    result.min_usage = lo;
+    result.max_usage = hi;
+  }
+}
+
+void trim_to_expectation(const BmcgapInstance& instance,
+                         AugmentationResult& result) {
+  std::vector<std::uint32_t> counts(instance.functions.size(), 0);
+  for (const SecondaryPlacement& p : result.placements) {
+    ++counts[p.chain_pos];
+  }
+  double achieved = instance.reliability_for_counts(counts);
+  if (achieved < instance.expectation) return;  // target not met: keep all
+
+  // Candidate removals: the LAST secondary of each function currently has
+  // the smallest marginal gain for that function (gains decrease in k).
+  // Repeatedly drop the globally smallest-gain removable secondary while
+  // the expectation still holds after removal.
+  for (;;) {
+    std::size_t best_pos = instance.functions.size();
+    double best_gain = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < instance.functions.size(); ++i) {
+      if (counts[i] == 0) continue;
+      const double g =
+          mec::marginal_gain(instance.functions[i].reliability, counts[i]);
+      if (g < best_gain) {
+        best_gain = g;
+        best_pos = i;
+      }
+    }
+    if (best_pos == instance.functions.size()) break;
+    --counts[best_pos];
+    const double after = instance.reliability_for_counts(counts);
+    if (after < instance.expectation) {
+      ++counts[best_pos];  // undo: this secondary is load-bearing
+      break;
+    }
+  }
+
+  // Rebuild the placement list to match the trimmed counts, preferring to
+  // keep earlier placements (algorithms emit low-k items first).
+  std::vector<std::uint32_t> keep = counts;
+  std::vector<SecondaryPlacement> kept;
+  kept.reserve(result.placements.size());
+  for (const SecondaryPlacement& p : result.placements) {
+    if (keep[p.chain_pos] > 0) {
+      --keep[p.chain_pos];
+      kept.push_back(p);
+    }
+  }
+  result.placements = std::move(kept);
+}
+
+void apply_placements(mec::MecNetwork& network, const BmcgapInstance& instance,
+                      const AugmentationResult& result,
+                      bool allow_violation) {
+  for (const SecondaryPlacement& p : result.placements) {
+    network.consume(p.cloudlet, instance.functions[p.chain_pos].demand,
+                    allow_violation);
+  }
+}
+
+}  // namespace mecra::core

@@ -1,0 +1,91 @@
+// Common types for the reliability-augmentation algorithms and shared
+// post-processing (capacity accounting, expectation trimming, application
+// of a solution to the live network).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bmcgap.h"
+#include "ilp/branch_and_bound.h"
+
+namespace mecra::core {
+
+/// How an algorithm decides it has placed "enough" backups.
+enum class BudgetMode {
+  /// Stop/trim at the reliability expectation rho_j (the paper's stated
+  /// goal: "until its reliability expectation is reached").
+  kReliabilityTarget,
+  /// The literal Algorithm 2 rule: stop when the accumulated Eq. (3) cost
+  /// reaches C = -ln(rho_j). Kept for the ablation bench (DESIGN.md Sec. 4).
+  kLiteralCostBudget,
+};
+
+struct AugmentOptions {
+  BudgetMode budget_mode = BudgetMode::kReliabilityTarget;
+  /// When true (default), surplus secondaries are trimmed smallest-gain
+  /// first while the expectation still holds, freeing capacity ("deploy ...
+  /// until its reliability expectation is reached").
+  bool trim_to_expectation = true;
+  /// Exact-solver knobs (augment_ilp only).
+  ilp::IlpOptions ilp;
+  /// Seed for the randomized algorithm's rounding draws.
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// One placed secondary instance.
+struct SecondaryPlacement {
+  std::uint32_t chain_pos;
+  graph::NodeId cloudlet;
+
+  friend bool operator==(const SecondaryPlacement&,
+                         const SecondaryPlacement&) = default;
+};
+
+struct AugmentationResult {
+  std::string algorithm;
+  std::vector<SecondaryPlacement> placements;
+  /// Secondaries per chain position (== count of `placements` entries).
+  std::vector<std::uint32_t> secondaries;
+
+  double initial_reliability = 0.0;
+  double achieved_reliability = 0.0;
+  bool expectation_met = false;
+
+  /// Wall-clock time of the algorithm proper (excludes instance building).
+  double runtime_seconds = 0.0;
+
+  /// Usage ratio used/capacity per instance cloudlet AFTER placement,
+  /// parallel to BmcgapInstance::cloudlets. > 1 means a violation
+  /// (possible for the randomized algorithm only).
+  std::vector<double> usage_ratio;
+  double avg_usage = 0.0;
+  double min_usage = 0.0;
+  double max_usage = 0.0;
+
+  /// Branch-and-bound nodes (ILP) / simplex iterations diagnostics.
+  std::size_t solver_nodes = 0;
+  /// Sum of the marginal gains of the placed items.
+  double objective_gain = 0.0;
+};
+
+/// Recomputes `secondaries`, reliabilities, the expectation flag, usage
+/// stats, and objective_gain for the current `placements`. Every algorithm
+/// calls this last; tests call it to cross-check reported metrics.
+void finalize_result(const BmcgapInstance& instance,
+                     AugmentationResult& result);
+
+/// Removes surplus placements smallest-marginal-gain first while the
+/// expectation still holds (no-op when it is not met). Keeps `result`
+/// un-finalized; callers run finalize_result afterwards.
+void trim_to_expectation(const BmcgapInstance& instance,
+                         AugmentationResult& result);
+
+/// Consumes residual capacity on the live network for every placement.
+/// `allow_violation` must be true for randomized results.
+void apply_placements(mec::MecNetwork& network, const BmcgapInstance& instance,
+                      const AugmentationResult& result,
+                      bool allow_violation = false);
+
+}  // namespace mecra::core

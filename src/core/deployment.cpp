@@ -1,0 +1,33 @@
+#include "core/deployment.h"
+
+namespace mecra::core {
+
+failsim::Deployment make_deployment(
+    const BmcgapInstance& instance, const AugmentationResult& result,
+    const std::vector<double>& host_availability) {
+  auto availability = [&](graph::NodeId v) {
+    if (host_availability.empty()) return 1.0;
+    MECRA_CHECK(v < host_availability.size());
+    const double a = host_availability[v];
+    MECRA_CHECK_MSG(a > 0.0 && a <= 1.0,
+                    "host availability must be in (0, 1]");
+    return a;
+  };
+
+  failsim::Deployment deployment;
+  deployment.groups.resize(instance.functions.size());
+  for (std::size_t i = 0; i < instance.functions.size(); ++i) {
+    const auto& fn = instance.functions[i];
+    deployment.groups[i].push_back(failsim::DeployedInstance{
+        fn.primary, fn.reliability * availability(fn.primary)});
+  }
+  for (const SecondaryPlacement& p : result.placements) {
+    MECRA_CHECK(p.chain_pos < instance.functions.size());
+    const auto& fn = instance.functions[p.chain_pos];
+    deployment.groups[p.chain_pos].push_back(failsim::DeployedInstance{
+        p.cloudlet, fn.reliability * availability(p.cloudlet)});
+  }
+  return deployment;
+}
+
+}  // namespace mecra::core

@@ -1,0 +1,24 @@
+// Bridge from augmentation solutions to failure-injection deployments:
+// turns a BMCGAP instance plus an AugmentationResult into the explicit
+// instance groups (primary + secondaries with their cloudlets) that
+// failsim simulates. Optional per-cloudlet availability factors generalize
+// the paper's identical-reliability assumption.
+#pragma once
+
+#include <vector>
+
+#include "core/augmentation.h"
+#include "failsim/failsim.h"
+
+namespace mecra::core {
+
+/// Builds the deployed-instance view of a solution. `host_availability`,
+/// when non-empty, is indexed by node id and multiplies each instance's
+/// reliability (values in (0, 1]); empty means 1.0 everywhere (the paper's
+/// assumption, under which failsim's analytic reliability equals
+/// result.achieved_reliability exactly).
+[[nodiscard]] failsim::Deployment make_deployment(
+    const BmcgapInstance& instance, const AugmentationResult& result,
+    const std::vector<double>& host_availability = {});
+
+}  // namespace mecra::core

@@ -1,0 +1,15 @@
+// Greedy baseline (not in the paper; used by the algorithm ablation bench):
+// sort all items by marginal gain descending — equivalently Eq. (3) cost
+// ascending — and place each on the allowed cloudlet with the largest
+// residual that fits, stopping at the budget rule. This is the "obvious"
+// alternative Algorithm 2's per-round matching is compared against.
+#pragma once
+
+#include "core/augmentation.h"
+
+namespace mecra::core {
+
+[[nodiscard]] AugmentationResult augment_greedy(
+    const BmcgapInstance& instance, const AugmentOptions& options = {});
+
+}  // namespace mecra::core

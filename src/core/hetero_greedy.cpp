@@ -1,0 +1,100 @@
+#include "core/hetero_greedy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace mecra::core {
+
+namespace {
+
+double availability_of(const std::vector<double>& host_availability,
+                       graph::NodeId v) {
+  if (host_availability.empty()) return 1.0;
+  MECRA_CHECK(v < host_availability.size());
+  const double a = host_availability[v];
+  MECRA_CHECK_MSG(a > 0.0 && a <= 1.0, "host availability must be in (0, 1]");
+  return a;
+}
+
+}  // namespace
+
+HeteroAugmentationResult augment_hetero_greedy(
+    const BmcgapInstance& instance,
+    const std::vector<double>& host_availability,
+    const AugmentOptions& options) {
+  (void)options;
+  util::Timer timer;
+  HeteroAugmentationResult out;
+  out.result.algorithm = "HeteroGreedy";
+
+  const std::size_t num_fns = instance.functions.size();
+
+  // fail[i] = probability that EVERY instance of function i fails.
+  std::vector<double> fail(num_fns, 1.0);
+  for (std::size_t i = 0; i < num_fns; ++i) {
+    const auto& fn = instance.functions[i];
+    fail[i] = 1.0 - fn.reliability *
+                        availability_of(host_availability, fn.primary);
+  }
+  auto chain_log_reliability = [&] {
+    double ln_u = 0.0;
+    for (std::size_t i = 0; i < num_fns; ++i) {
+      ln_u += std::log(std::max(1e-300, 1.0 - fail[i]));
+    }
+    return ln_u;
+  };
+  out.hetero_initial_reliability = std::exp(chain_log_reliability());
+
+  std::vector<double> residual = instance.residual;
+  std::vector<std::uint32_t> counts(num_fns, 0);
+  const double ln_target = std::log(instance.expectation);
+  double ln_u = chain_log_reliability();
+
+  while (ln_u < ln_target) {
+    // Best feasible single placement by exact marginal gain of ln u.
+    double best_gain = 0.0;
+    std::size_t best_i = num_fns;
+    std::size_t best_c = 0;
+    for (std::size_t i = 0; i < num_fns; ++i) {
+      const auto& fn = instance.functions[i];
+      if (counts[i] >= fn.max_secondaries) continue;
+      const double survive_i = 1.0 - fail[i];
+      if (survive_i <= 0.0) continue;
+      for (graph::NodeId u : fn.allowed) {
+        const std::size_t c = instance.cloudlet_index(u);
+        if (residual[c] < fn.demand) continue;
+        const double r_inst =
+            fn.reliability * availability_of(host_availability, u);
+        const double new_fail = fail[i] * (1.0 - r_inst);
+        const double gain =
+            std::log(1.0 - new_fail) - std::log(survive_i);
+        if (gain > best_gain + 1e-15) {
+          best_gain = gain;
+          best_i = i;
+          best_c = c;
+        }
+      }
+    }
+    if (best_i == num_fns || best_gain <= 0.0) break;  // nothing helps
+
+    const auto& fn = instance.functions[best_i];
+    const graph::NodeId u = instance.cloudlets[best_c];
+    residual[best_c] -= fn.demand;
+    fail[best_i] *= 1.0 - fn.reliability *
+                              availability_of(host_availability, u);
+    ++counts[best_i];
+    ln_u = chain_log_reliability();
+    out.result.placements.push_back(
+        SecondaryPlacement{static_cast<std::uint32_t>(best_i), u});
+  }
+
+  finalize_result(instance, out.result);
+  out.hetero_reliability = std::exp(ln_u);
+  out.expectation_met = out.hetero_reliability >= instance.expectation - 1e-12;
+  out.result.runtime_seconds = timer.elapsed_seconds();
+  return out;
+}
+
+}  // namespace mecra::core

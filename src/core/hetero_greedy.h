@@ -1,0 +1,41 @@
+// Extension beyond the paper's identical-reliability assumption (Sec. 3.1
+// adopts r_{i,l} = r_i "for convenience"): when each cloudlet u carries an
+// availability factor a_u, the reliability of an instance of f_i at u is
+// r_i * a_u, the general form of Eq. (1) applies, and the item-cost
+// structure of Sec. 4 no longer separates (an item's gain depends on WHICH
+// cloudlets already host instances). The natural algorithm is exact greedy
+// marginal-gain maximization: repeatedly place the feasible secondary with
+// the largest exact increase of ln u_j. Because each function's survival
+// probability is submodular in its instance multiset, gains diminish and
+// greedy is the standard (1 - 1/e)-style heuristic for this regime.
+#pragma once
+
+#include <vector>
+
+#include "core/augmentation.h"
+
+namespace mecra::core {
+
+struct HeteroAugmentationResult {
+  /// Placements and homogeneous-view metrics (finalize_result applied, so
+  /// the validator's cross-checks hold on this member).
+  AugmentationResult result;
+  /// Exact availability-aware chain reliability of primaries + placements.
+  double hetero_reliability = 0.0;
+  /// Same, for the primaries alone.
+  double hetero_initial_reliability = 0.0;
+  /// Whether hetero_reliability reached the expectation.
+  bool expectation_met = false;
+};
+
+/// Greedy exact-marginal-gain augmentation under per-cloudlet availability
+/// factors (indexed by node id; empty = 1.0 everywhere, in which case the
+/// hetero metrics coincide with the homogeneous ones). Stops when the
+/// expectation is reached (options.budget_mode is ignored; trim semantics
+/// are inherent — greedy never overshoots by more than one placement).
+[[nodiscard]] HeteroAugmentationResult augment_hetero_greedy(
+    const BmcgapInstance& instance,
+    const std::vector<double>& host_availability = {},
+    const AugmentOptions& options = {});
+
+}  // namespace mecra::core

@@ -1,0 +1,86 @@
+#include "core/heuristic_matching.h"
+
+#include <algorithm>
+
+#include "matching/hungarian.h"
+#include "util/timer.h"
+
+namespace mecra::core {
+
+AugmentationResult augment_heuristic(const BmcgapInstance& instance,
+                                     const AugmentOptions& options) {
+  util::Timer timer;
+  AugmentationResult result;
+  result.algorithm = "Heuristic";
+
+  // Lines 2-4: the admission already meets the expectation.
+  if (instance.initial_reliability >= instance.expectation) {
+    finalize_result(instance, result);
+    result.runtime_seconds = timer.elapsed_seconds();
+    return result;
+  }
+
+  std::vector<double> residual = instance.residual;
+  std::vector<bool> retired(instance.num_items(), false);
+  std::vector<std::uint32_t> counts(instance.functions.size(), 0);
+  double eq3_cost = 0.0;
+  std::size_t rounds = 0;
+
+  for (;;) {
+    // Build G_l: left = candidate cloudlets, right = remaining items.
+    std::vector<matching::BipartiteEdge> edges;
+    for (std::uint32_t idx = 0; idx < instance.num_items(); ++idx) {
+      if (retired[idx]) continue;
+      const ItemRef& item = instance.items[idx];
+      const auto& fn = instance.functions[item.chain_pos];
+      const double cost = instance.item_cost(item);
+      for (graph::NodeId u : fn.allowed) {
+        const std::size_t c = instance.cloudlet_index(u);
+        if (residual[c] >= fn.demand) {
+          edges.push_back(matching::BipartiteEdge{
+              static_cast<std::uint32_t>(c), idx, cost});
+        }
+      }
+    }
+    if (edges.empty()) break;  // E_l == empty: no further placement possible
+
+    const auto matched = matching::min_cost_max_matching(
+        instance.cloudlets.size(), instance.num_items(), edges);
+    if (matched.cardinality == 0) break;
+    ++rounds;
+
+    for (std::size_t c = 0; c < instance.cloudlets.size(); ++c) {
+      if (!matched.match_left[c].has_value()) continue;
+      const std::uint32_t idx = *matched.match_left[c];
+      const ItemRef& item = instance.items[idx];
+      const auto& fn = instance.functions[item.chain_pos];
+      MECRA_CHECK(residual[c] >= fn.demand - 1e-9);
+      residual[c] -= fn.demand;
+      retired[idx] = true;
+      ++counts[item.chain_pos];
+      eq3_cost += instance.item_cost(item);
+      result.placements.push_back(
+          SecondaryPlacement{item.chain_pos, instance.cloudlets[c]});
+    }
+
+    if (options.budget_mode == BudgetMode::kLiteralCostBudget) {
+      // The printed Algorithm 2 rule: stop once c(S) reaches C = -ln rho.
+      if (eq3_cost >= instance.budget) break;
+    } else {
+      if (instance.reliability_for_counts(counts) >= instance.expectation) {
+        break;
+      }
+    }
+  }
+  result.solver_nodes = rounds;
+
+  if (options.trim_to_expectation &&
+      options.budget_mode == BudgetMode::kReliabilityTarget) {
+    trim_to_expectation(instance, result);
+  }
+  finalize_result(instance, result);
+  result.runtime_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace mecra::core

@@ -1,0 +1,18 @@
+// Algorithm 2 (Section 6): iterated min-cost maximum matching.
+//
+// Round l builds the bipartite graph G_l between cloudlets that still have
+// residual capacity and the remaining items; an edge (u, I_{i,k}) with cost
+// c(f_i, k, u) (Eq. 3) exists when u lies in N_l^+(v_i) and fits c(f_i).
+// Each round's min-cost maximum matching M_l is applied in full (capacities
+// decremented, matched items retired), and rounds repeat until the budget
+// rule fires or no edges remain. Never violates capacities (Theorem 6.2).
+#pragma once
+
+#include "core/augmentation.h"
+
+namespace mecra::core {
+
+[[nodiscard]] AugmentationResult augment_heuristic(
+    const BmcgapInstance& instance, const AugmentOptions& options = {});
+
+}  // namespace mecra::core

@@ -1,0 +1,60 @@
+// The exact "ILP" algorithm of Section 4, solved with the in-repo
+// branch-and-bound over the in-repo simplex.
+//
+// Two equivalent formulations are provided (DESIGN.md Sec. 4):
+//
+//  * per-item (paper-literal Eqs. (5)-(13), with the objective stated as
+//    the reliability-maximizing gain sum): binaries x_{i,k,u} for every
+//    item (i,k) and allowed cloudlet u, plus the prefix dominance cuts of
+//    Lemma 4.2 to break item symmetry;
+//  * aggregated (count-based): integers y_{i,u} = number of secondaries of
+//    f_i placed at u, with continuous prefix variables t_{i,k} in [0,1]
+//    linked by sum_k t_{i,k} = sum_u y_{i,u}. Because marginal gains
+//    strictly decrease in k, the LP always fills t in prefix order, so both
+//    formulations share the same optimum (asserted in tests); the
+//    aggregated one is much smaller and is what augment_ilp solves.
+#pragma once
+
+#include "core/augmentation.h"
+#include "lp/model.h"
+
+namespace mecra::core {
+
+/// Variable layout of the per-item formulation, for tests and the
+/// randomized algorithm (which rounds this model's LP relaxation).
+struct PerItemModel {
+  lp::Model model;  // sense: maximize
+  /// var_of[item_index][a] = variable id of x_{i,k,u} for allowed cloudlet
+  /// index a of the item's chain position.
+  std::vector<std::vector<lp::VarId>> var_of;
+  std::vector<bool> is_integer;
+};
+
+[[nodiscard]] PerItemModel build_per_item_model(const BmcgapInstance& instance,
+                                                bool with_prefix_cuts = true);
+
+/// Variable layout of the aggregated formulation.
+struct AggregatedModel {
+  lp::Model model;  // sense: maximize
+  /// y_of[i][a] = var id of y_{i,u} (a indexes functions[i].allowed).
+  std::vector<std::vector<lp::VarId>> y_of;
+  /// t_of[i][k-1] = var id of t_{i,k}.
+  std::vector<std::vector<lp::VarId>> t_of;
+  std::vector<bool> is_integer;
+};
+
+/// `with_mir_cuts` adds one round of mixed-integer-rounding cuts on every
+/// capacity row (divisors = the distinct demands in the row). The cuts are
+/// valid for all non-negative integer y and close most of the knapsack
+/// integrality gap that otherwise stalls branch-and-bound on tightly
+/// capacitated instances.
+[[nodiscard]] AggregatedModel build_aggregated_model(
+    const BmcgapInstance& instance, bool with_mir_cuts = true);
+
+/// Solves the service reliability augmentation problem exactly (modulo the
+/// solver limits in options.ilp; the result reports solver_nodes and the
+/// bound gap is zero unless a limit was hit).
+[[nodiscard]] AugmentationResult augment_ilp(const BmcgapInstance& instance,
+                                             const AugmentOptions& options = {});
+
+}  // namespace mecra::core

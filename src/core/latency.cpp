@@ -1,0 +1,42 @@
+#include "core/latency.h"
+
+#include <map>
+
+#include "graph/algorithms.h"
+
+namespace mecra::core {
+
+UpdateLatencyStats update_latency(const mec::MecNetwork& network,
+                                  const BmcgapInstance& instance,
+                                  const AugmentationResult& result) {
+  UpdateLatencyStats stats;
+  if (result.placements.empty()) return stats;
+
+  // BFS once per distinct primary cloudlet.
+  std::map<graph::NodeId, std::vector<std::uint32_t>> hops_from;
+  for (const auto& fn : instance.functions) {
+    if (hops_from.count(fn.primary) == 0) {
+      hops_from.emplace(fn.primary,
+                        graph::bfs_hops(network.topology(), fn.primary));
+    }
+  }
+
+  double total = 0.0;
+  std::size_t colocated = 0;
+  for (const SecondaryPlacement& p : result.placements) {
+    const graph::NodeId primary = instance.functions[p.chain_pos].primary;
+    const std::uint32_t h = hops_from.at(primary)[p.cloudlet];
+    MECRA_CHECK_MSG(h != graph::kUnreachable,
+                    "secondary unreachable from its primary");
+    total += static_cast<double>(h);
+    stats.max_hops = std::max(stats.max_hops, h);
+    if (h == 0) ++colocated;
+  }
+  stats.secondaries = result.placements.size();
+  stats.avg_hops = total / static_cast<double>(stats.secondaries);
+  stats.colocated_fraction =
+      static_cast<double>(colocated) / static_cast<double>(stats.secondaries);
+  return stats;
+}
+
+}  // namespace mecra::core

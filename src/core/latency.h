@@ -1,0 +1,29 @@
+// State-update latency accounting. Section 3.2 motivates the hop bound l:
+// "the primary VNF instance communicates with its secondary VNF instances
+// at some pre-defined checking points", so every secondary sits within l
+// hops of its primary. This helper measures the realized update distances
+// of a solution — the metric the l ablation trades against reliability.
+#pragma once
+
+#include "core/augmentation.h"
+#include "mec/network.h"
+
+namespace mecra::core {
+
+struct UpdateLatencyStats {
+  /// Mean / max hop distance from each secondary to its primary.
+  double avg_hops = 0.0;
+  std::uint32_t max_hops = 0;
+  /// Fraction of secondaries co-located with their primary (0 hops).
+  double colocated_fraction = 0.0;
+  std::size_t secondaries = 0;
+};
+
+/// Computes hop distances for every placement (BFS once per distinct
+/// primary cloudlet). All placements must respect the instance's hop
+/// constraint, so max_hops <= instance.l_hops.
+[[nodiscard]] UpdateLatencyStats update_latency(
+    const mec::MecNetwork& network, const BmcgapInstance& instance,
+    const AugmentationResult& result);
+
+}  // namespace mecra::core

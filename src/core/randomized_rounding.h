@@ -1,0 +1,16 @@
+// Algorithm 1 (Section 5): solve the LP relaxation of the per-item ILP,
+// then round each item's fractional placement row to an exclusive 0/1
+// choice — cloudlet u with probability x~_{i,k,u}, "not placed" with the
+// remaining probability. The rounded solution may exceed cloudlet
+// capacities; Theorem 5.2 bounds the violation by 2x w.h.p., and the
+// returned usage ratios expose the realized violation (figure panel (b)).
+#pragma once
+
+#include "core/augmentation.h"
+
+namespace mecra::core {
+
+[[nodiscard]] AugmentationResult augment_randomized(
+    const BmcgapInstance& instance, const AugmentOptions& options = {});
+
+}  // namespace mecra::core

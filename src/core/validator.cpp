@@ -1,0 +1,74 @@
+#include "core/validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mecra::core {
+
+ValidationReport validate(const BmcgapInstance& instance,
+                          const AugmentationResult& result) {
+  ValidationReport report;
+  report.hop_constraint_ok = true;
+
+  std::vector<double> load(instance.cloudlets.size(), 0.0);
+  std::vector<std::uint32_t> counts(instance.functions.size(), 0);
+
+  for (const SecondaryPlacement& p : result.placements) {
+    if (p.chain_pos >= instance.functions.size()) {
+      report.errors.push_back("placement references unknown chain position");
+      continue;
+    }
+    const auto& fn = instance.functions[p.chain_pos];
+    if (!std::binary_search(fn.allowed.begin(), fn.allowed.end(),
+                            p.cloudlet)) {
+      std::ostringstream os;
+      os << "secondary of chain position " << p.chain_pos << " placed at node "
+         << p.cloudlet << " outside N_" << instance.l_hops << "^+("
+         << fn.primary << ")";
+      report.errors.push_back(os.str());
+      report.hop_constraint_ok = false;
+      continue;
+    }
+    load[instance.cloudlet_index(p.cloudlet)] += fn.demand;
+    ++counts[p.chain_pos];
+  }
+
+  bool capacity_ok = true;
+  for (std::size_t c = 0; c < instance.cloudlets.size(); ++c) {
+    if (load[c] > instance.residual[c] + 1e-6) {
+      std::ostringstream os;
+      os << "cloudlet " << instance.cloudlets[c] << " overloaded: placed "
+         << load[c] << " onto residual " << instance.residual[c];
+      report.errors.push_back(os.str());
+      capacity_ok = false;
+    }
+    const double used_before = instance.capacity[c] - instance.residual[c];
+    report.max_usage_ratio =
+        std::max(report.max_usage_ratio,
+                 (used_before + load[c]) / instance.capacity[c]);
+  }
+
+  // Metric cross-checks.
+  if (result.secondaries != counts) {
+    report.errors.push_back("reported secondaries disagree with placements");
+  }
+  const double recomputed = instance.reliability_for_counts(counts);
+  if (std::abs(recomputed - result.achieved_reliability) > 1e-9) {
+    report.errors.push_back(
+        "reported achieved reliability disagrees with recomputation");
+  }
+
+  // Per-function count must not exceed the item universe.
+  for (std::size_t i = 0; i < instance.functions.size(); ++i) {
+    if (counts[i] > instance.functions[i].max_secondaries) {
+      report.errors.push_back("more secondaries placed than items exist");
+    }
+  }
+
+  report.feasible =
+      report.errors.empty() && capacity_ok && report.hop_constraint_ok;
+  return report;
+}
+
+}  // namespace mecra::core

@@ -1,0 +1,32 @@
+// Independent feasibility checker for augmentation results. Used by tests
+// (every algorithm's output goes through it) and available to applications
+// that consume solutions from untrusted sources.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/augmentation.h"
+
+namespace mecra::core {
+
+struct ValidationReport {
+  /// True when the solution respects hop locality and all capacities.
+  bool feasible = false;
+  /// True when hop locality holds (capacity may still be violated — the
+  /// randomized algorithm's expected shape).
+  bool hop_constraint_ok = false;
+  /// max over cloudlets of used/capacity after placement (> 1 = violation).
+  double max_usage_ratio = 0.0;
+  /// Human-readable violation descriptions (empty when feasible).
+  std::vector<std::string> errors;
+};
+
+/// Checks `result.placements` against the instance: every placement targets
+/// an allowed cloudlet of its chain position, per-cloudlet demand totals fit
+/// the residual snapshot, and the reported metrics (secondaries, achieved
+/// reliability, usage ratios) match an independent recomputation.
+[[nodiscard]] ValidationReport validate(const BmcgapInstance& instance,
+                                        const AugmentationResult& result);
+
+}  // namespace mecra::core

@@ -1,0 +1,133 @@
+#include "failsim/failsim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mecra::failsim {
+
+std::size_t Deployment::total_instances() const noexcept {
+  std::size_t total = 0;
+  for (const auto& group : groups) total += group.size();
+  return total;
+}
+
+double analytic_reliability(const Deployment& deployment) {
+  double u = 1.0;
+  for (const auto& group : deployment.groups) {
+    double all_fail = 1.0;
+    for (const auto& inst : group) {
+      MECRA_CHECK(inst.reliability > 0.0 && inst.reliability <= 1.0);
+      all_fail *= 1.0 - inst.reliability;
+    }
+    u *= group.empty() ? 0.0 : 1.0 - all_fail;
+  }
+  return u;
+}
+
+InjectionResult inject_failures(const Deployment& deployment,
+                                const InjectionConfig& config,
+                                util::Rng& rng) {
+  MECRA_CHECK(config.epochs > 0);
+  MECRA_CHECK(config.cloudlet_outage_probability >= 0.0 &&
+              config.cloudlet_outage_probability < 1.0);
+
+  // Collect the distinct cloudlets in use for the outage draws.
+  std::vector<graph::NodeId> cloudlets;
+  for (const auto& group : deployment.groups) {
+    for (const auto& inst : group) cloudlets.push_back(inst.cloudlet);
+  }
+  std::sort(cloudlets.begin(), cloudlets.end());
+  cloudlets.erase(std::unique(cloudlets.begin(), cloudlets.end()),
+                  cloudlets.end());
+  auto cloudlet_slot = [&](graph::NodeId v) {
+    return static_cast<std::size_t>(
+        std::lower_bound(cloudlets.begin(), cloudlets.end(), v) -
+        cloudlets.begin());
+  };
+
+  InjectionResult result;
+  result.epochs = config.epochs;
+  result.per_function_reliability.assign(deployment.chain_length(), 0.0);
+  std::size_t chain_survived = 0;
+  std::vector<bool> cloudlet_down(cloudlets.size(), false);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.cloudlet_outage_probability > 0.0) {
+      for (std::size_t c = 0; c < cloudlets.size(); ++c) {
+        cloudlet_down[c] = rng.bernoulli(config.cloudlet_outage_probability);
+      }
+    }
+    bool chain_ok = true;
+    for (std::size_t i = 0; i < deployment.chain_length(); ++i) {
+      bool group_ok = false;
+      for (const auto& inst : deployment.groups[i]) {
+        if (config.cloudlet_outage_probability > 0.0 &&
+            cloudlet_down[cloudlet_slot(inst.cloudlet)]) {
+          continue;  // whole cloudlet is out this epoch
+        }
+        if (rng.bernoulli(inst.reliability)) {
+          group_ok = true;
+          // NOTE: no early break — every instance must consume exactly one
+          // draw per epoch so results are invariant to group ordering.
+        }
+      }
+      result.per_function_reliability[i] += group_ok ? 1.0 : 0.0;
+      chain_ok = chain_ok && group_ok;
+    }
+    if (chain_ok) ++chain_survived;
+  }
+
+  const auto n = static_cast<double>(config.epochs);
+  result.empirical_reliability = static_cast<double>(chain_survived) / n;
+  for (double& p : result.per_function_reliability) p /= n;
+  const double p = result.empirical_reliability;
+  result.confidence_halfwidth = 1.96 * std::sqrt(std::max(p * (1 - p), 1e-12) / n);
+  return result;
+}
+
+double analytic_reliability_with_outages(const Deployment& deployment,
+                                         double q) {
+  MECRA_CHECK(q >= 0.0 && q < 1.0);
+  if (q == 0.0) return analytic_reliability(deployment);
+
+  std::vector<graph::NodeId> cloudlets;
+  for (const auto& group : deployment.groups) {
+    for (const auto& inst : group) cloudlets.push_back(inst.cloudlet);
+  }
+  std::sort(cloudlets.begin(), cloudlets.end());
+  cloudlets.erase(std::unique(cloudlets.begin(), cloudlets.end()),
+                  cloudlets.end());
+  MECRA_CHECK_MSG(cloudlets.size() <= 20,
+                  "outage analytics enumerate cloudlet states (<= 20)");
+
+  double total = 0.0;
+  const std::size_t states = std::size_t{1} << cloudlets.size();
+  for (std::size_t mask = 0; mask < states; ++mask) {
+    // Probability of this up/down pattern.
+    double p_state = 1.0;
+    for (std::size_t c = 0; c < cloudlets.size(); ++c) {
+      p_state *= (mask & (std::size_t{1} << c)) ? q : (1.0 - q);
+    }
+    // Chain reliability conditioned on the pattern: down cloudlets
+    // contribute nothing.
+    double u = 1.0;
+    for (const auto& group : deployment.groups) {
+      double all_fail = 1.0;
+      for (const auto& inst : group) {
+        const std::size_t c = static_cast<std::size_t>(
+            std::lower_bound(cloudlets.begin(), cloudlets.end(),
+                             inst.cloudlet) -
+            cloudlets.begin());
+        if (mask & (std::size_t{1} << c)) continue;  // cloudlet down
+        all_fail *= 1.0 - inst.reliability;
+      }
+      u *= group.empty() ? 0.0 : 1.0 - all_fail;
+    }
+    total += p_state * u;
+  }
+  return total;
+}
+
+}  // namespace mecra::failsim

@@ -1,0 +1,166 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace mecra::graph {
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
+  MECRA_CHECK(source < g.num_nodes());
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId w : g.neighbors(u)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[u] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<std::uint32_t>> all_pairs_hops(const Graph& g) {
+  std::vector<std::vector<std::uint32_t>> result;
+  result.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result.push_back(bfs_hops(g, v));
+  }
+  return result;
+}
+
+std::vector<NodeId> l_hop_neighbors(const Graph& g, NodeId v,
+                                    std::uint32_t l) {
+  MECRA_CHECK(l >= 1);
+  auto dist = bfs_hops(g, v);
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u != v && dist[u] != kUnreachable && dist[u] <= l) {
+      out.push_back(u);
+    }
+  }
+  return out;  // ascending by construction
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  auto dist = bfs_hops(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  std::vector<std::uint32_t> label(g.num_nodes(), kUnreachable);
+  std::uint32_t next = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (label[s] != kUnreachable) continue;
+    label[s] = next;
+    std::deque<NodeId> frontier{s};
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop_front();
+      for (NodeId w : g.neighbors(u)) {
+        if (label[w] == kUnreachable) {
+          label[w] = next;
+          frontier.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+DijkstraResult dijkstra(const Graph& g, NodeId source) {
+  MECRA_CHECK(source < g.num_nodes());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  DijkstraResult r;
+  r.distance.assign(g.num_nodes(), kInf);
+  r.parent.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) r.parent[v] = v;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  r.distance[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > r.distance[u]) continue;  // stale entry
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.neighbor_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId w = nbrs[i];
+      MECRA_DCHECK(wts[i] >= 0.0);
+      const double cand = d + wts[i];
+      if (cand < r.distance[w]) {
+        r.distance[w] = cand;
+        r.parent[w] = u;
+        heap.emplace(cand, w);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<NodeId> extract_path(const DijkstraResult& r, NodeId source,
+                                 NodeId target) {
+  MECRA_CHECK(source < r.parent.size() && target < r.parent.size());
+  if (r.distance[target] == std::numeric_limits<double>::infinity()) return {};
+  std::vector<NodeId> path{target};
+  NodeId cur = target;
+  while (cur != source) {
+    NodeId p = r.parent[cur];
+    MECRA_CHECK_MSG(p != cur, "broken parent chain");
+    path.push_back(p);
+    cur = p;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+DisjointSets::DisjointSets(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::size_t DisjointSets::find(std::size_t x) {
+  MECRA_CHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool DisjointSets::unite(std::size_t x, std::size_t y) {
+  std::size_t rx = find(x);
+  std::size_t ry = find(y);
+  if (rx == ry) return false;
+  if (size_[rx] < size_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  size_[rx] += size_[ry];
+  --num_sets_;
+  return true;
+}
+
+std::vector<Edge> minimum_spanning_forest(std::size_t num_nodes,
+                                          std::vector<Edge> candidate_edges) {
+  std::sort(candidate_edges.begin(), candidate_edges.end(),
+            [](const Edge& a, const Edge& b) { return a.weight < b.weight; });
+  DisjointSets dsu(num_nodes);
+  std::vector<Edge> chosen;
+  for (const Edge& e : candidate_edges) {
+    if (dsu.unite(e.u, e.v)) {
+      chosen.push_back(e);
+      if (chosen.size() + 1 == num_nodes) break;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace mecra::graph

@@ -1,0 +1,71 @@
+// Classic graph algorithms the MEC model needs: BFS hop distances (for the
+// paper's l-hop neighborhoods N_l(v)), connectivity, Dijkstra shortest paths
+// (for the admission DAG), and a minimum spanning tree (for connectivity
+// repair in the topology generators).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mecra::graph {
+
+/// Sentinel for "unreachable" in hop-distance vectors.
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS hop distances from `source` to every node (kUnreachable if none).
+[[nodiscard]] std::vector<std::uint32_t> bfs_hops(const Graph& g,
+                                                  NodeId source);
+
+/// All-pairs hop distances; result[u][v]. O(V·(V+E)).
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> all_pairs_hops(
+    const Graph& g);
+
+/// The paper's N_l(v): nodes within `l` hops of `v`, EXCLUDING v itself,
+/// sorted ascending. N_l^+(v) is this plus v.
+[[nodiscard]] std::vector<NodeId> l_hop_neighbors(const Graph& g, NodeId v,
+                                                  std::uint32_t l);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Connected-component label per node, labels dense from 0.
+[[nodiscard]] std::vector<std::uint32_t> connected_components(const Graph& g);
+
+struct DijkstraResult {
+  std::vector<double> distance;   // +inf when unreachable
+  std::vector<NodeId> parent;     // parent[v] == v for source/unreachable
+};
+
+/// Dijkstra over non-negative edge weights.
+[[nodiscard]] DijkstraResult dijkstra(const Graph& g, NodeId source);
+
+/// Reconstructs the path source→target from a DijkstraResult; empty when
+/// unreachable. The path includes both endpoints.
+[[nodiscard]] std::vector<NodeId> extract_path(const DijkstraResult& r,
+                                               NodeId source, NodeId target);
+
+/// Kruskal MST over an arbitrary weighted edge list spanning `num_nodes`
+/// nodes. Returns the chosen edges (a spanning forest if disconnected).
+[[nodiscard]] std::vector<Edge> minimum_spanning_forest(
+    std::size_t num_nodes, std::vector<Edge> candidate_edges);
+
+/// Union–find with path compression + union by size (exposed for tests and
+/// reused by Kruskal).
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n);
+  [[nodiscard]] std::size_t find(std::size_t x);
+  /// Returns true when x and y were in different sets (and merges them).
+  bool unite(std::size_t x, std::size_t y);
+  [[nodiscard]] std::size_t num_sets() const noexcept { return num_sets_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t num_sets_;
+};
+
+}  // namespace mecra::graph

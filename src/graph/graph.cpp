@@ -1,0 +1,38 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace mecra::graph {
+
+void Graph::add_edge(NodeId u, NodeId v, double weight) {
+  MECRA_CHECK(u < num_nodes() && v < num_nodes());
+  MECRA_CHECK_MSG(u != v, "self-loops are not allowed");
+  MECRA_CHECK_MSG(!has_edge(u, v), "duplicate edge");
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v, weight});
+  auto insert_sorted = [this](NodeId at, NodeId x, double w) {
+    auto& adj = adjacency_[at];
+    auto& wts = adj_weights_[at];
+    auto pos = std::lower_bound(adj.begin(), adj.end(), x);
+    wts.insert(wts.begin() + (pos - adj.begin()), w);
+    adj.insert(pos, x);
+  };
+  insert_sorted(u, v, weight);
+  insert_sorted(v, u, weight);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  MECRA_CHECK(u < num_nodes() && v < num_nodes());
+  const auto& adj = adjacency_[u];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+double Graph::edge_weight(NodeId u, NodeId v) const {
+  MECRA_CHECK(u < num_nodes() && v < num_nodes());
+  const auto& adj = adjacency_[u];
+  auto pos = std::lower_bound(adj.begin(), adj.end(), v);
+  MECRA_CHECK_MSG(pos != adj.end() && *pos == v, "edge does not exist");
+  return adj_weights_[u][static_cast<std::size_t>(pos - adj.begin())];
+}
+
+}  // namespace mecra::graph

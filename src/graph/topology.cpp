@@ -1,0 +1,243 @@
+#include "graph/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.h"
+
+namespace mecra::graph {
+namespace {
+
+double euclid(double x0, double y0, double x1, double y1) {
+  const double dx = x0 - x1;
+  const double dy = y0 - y1;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Adds shortest geometric edges between components until connected.
+void repair_connectivity(Graph& g, const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  const std::size_t n = g.num_nodes();
+  if (n <= 1) return;
+  DisjointSets dsu(n);
+  for (const Edge& e : g.edges()) dsu.unite(e.u, e.v);
+  while (dsu.num_sets() > 1) {
+    // Cheapest cross-component pair by geometric distance. O(n^2) per added
+    // edge, fine for the ≤ few-hundred-node topologies the paper sweeps.
+    NodeId best_u = 0;
+    NodeId best_v = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) {
+        if (dsu.find(u) == dsu.find(v)) continue;
+        const double d = euclid(x[u], y[u], x[v], y[v]);
+        if (d < best_d) {
+          best_d = d;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    }
+    g.add_edge(best_u, best_v);
+    dsu.unite(best_u, best_v);
+  }
+}
+
+}  // namespace
+
+GeneratedTopology waxman(const WaxmanParams& params, util::Rng& rng) {
+  MECRA_CHECK(params.num_nodes >= 1);
+  MECRA_CHECK(params.alpha > 0.0 && params.alpha <= 1.0);
+  MECRA_CHECK(params.beta > 0.0 && params.beta <= 1.0);
+
+  GeneratedTopology out;
+  const std::size_t n = params.num_nodes;
+  out.graph = Graph(n);
+  out.x.resize(n);
+  out.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.x[i] = rng.uniform01();
+    out.y[i] = rng.uniform01();
+  }
+  const double max_dist = std::sqrt(2.0);  // unit square diagonal
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) {
+      const double d = euclid(out.x[u], out.y[u], out.x[v], out.y[v]);
+      const double p =
+          params.alpha * std::exp(-d / (params.beta * max_dist));
+      if (rng.bernoulli(std::min(1.0, p))) {
+        out.graph.add_edge(u, v);
+      }
+    }
+  }
+  if (params.ensure_connected) {
+    repair_connectivity(out.graph, out.x, out.y);
+  }
+  return out;
+}
+
+GeneratedTopology transit_stub(const TransitStubParams& params,
+                               util::Rng& rng) {
+  MECRA_CHECK(params.num_transit >= 1);
+  MECRA_CHECK(params.nodes_per_stub >= 1);
+  const std::size_t total =
+      params.num_transit +
+      params.num_transit * params.stubs_per_transit * params.nodes_per_stub;
+
+  GeneratedTopology out;
+  out.graph = Graph(total);
+  out.x.assign(total, 0.0);
+  out.y.assign(total, 0.0);
+
+  // Transit backbone: a connected Waxman graph among the first num_transit
+  // nodes, spread across the whole unit square.
+  std::vector<NodeId> transit(params.num_transit);
+  for (std::size_t i = 0; i < params.num_transit; ++i) {
+    transit[i] = static_cast<NodeId>(i);
+    out.x[i] = rng.uniform01();
+    out.y[i] = rng.uniform01();
+  }
+  const double max_dist = std::sqrt(2.0);
+  for (std::size_t a = 0; a < transit.size(); ++a) {
+    for (std::size_t b = a + 1; b < transit.size(); ++b) {
+      const double d = euclid(out.x[a], out.y[a], out.x[b], out.y[b]);
+      if (rng.bernoulli(std::min(1.0, 0.8 * std::exp(-d / (0.5 * max_dist))))) {
+        out.graph.add_edge(transit[a], transit[b]);
+      }
+    }
+  }
+  // Connect backbone components in a chain if the Waxman draw left gaps.
+  {
+    DisjointSets dsu(params.num_transit);
+    for (const Edge& e : out.graph.edges()) dsu.unite(e.u, e.v);
+    for (std::size_t i = 1; i < params.num_transit; ++i) {
+      if (dsu.unite(i - 1, i)) {
+        if (!out.graph.has_edge(transit[i - 1], transit[i])) {
+          out.graph.add_edge(transit[i - 1], transit[i]);
+        }
+      }
+    }
+  }
+
+  // Stub domains: each a small connected Waxman cluster near its transit
+  // node, attached by a single up-link.
+  NodeId next = static_cast<NodeId>(params.num_transit);
+  for (std::size_t t = 0; t < params.num_transit; ++t) {
+    for (std::size_t s = 0; s < params.stubs_per_transit; ++s) {
+      const NodeId base = next;
+      for (std::size_t k = 0; k < params.nodes_per_stub; ++k) {
+        // Jitter stub nodes around the transit anchor (clamped to square).
+        out.x[next] = std::clamp(out.x[t] + rng.uniform(-0.1, 0.1), 0.0, 1.0);
+        out.y[next] = std::clamp(out.y[t] + rng.uniform(-0.1, 0.1), 0.0, 1.0);
+        ++next;
+      }
+      // Intra-stub Waxman edges.
+      for (NodeId a = base; a < next; ++a) {
+        for (NodeId b = static_cast<NodeId>(a + 1); b < next; ++b) {
+          const double d = euclid(out.x[a], out.y[a], out.x[b], out.y[b]);
+          const double p =
+              params.alpha * std::exp(-d / (params.beta * max_dist));
+          if (rng.bernoulli(std::min(1.0, p))) out.graph.add_edge(a, b);
+        }
+      }
+      // Make the stub internally connected (chain repair) and attach it.
+      {
+        DisjointSets dsu(params.nodes_per_stub);
+        for (const Edge& e : out.graph.edges()) {
+          if (e.u >= base && e.v < next && e.u < next && e.v >= base) {
+            dsu.unite(e.u - base, e.v - base);
+          }
+        }
+        for (std::size_t k = 1; k < params.nodes_per_stub; ++k) {
+          if (dsu.unite(k - 1, k)) {
+            const auto a = static_cast<NodeId>(base + k - 1);
+            const auto b = static_cast<NodeId>(base + k);
+            if (!out.graph.has_edge(a, b)) out.graph.add_edge(a, b);
+          }
+        }
+      }
+      out.graph.add_edge(static_cast<NodeId>(t),
+                         static_cast<NodeId>(
+                             base + rng.index(params.nodes_per_stub)));
+    }
+  }
+  MECRA_CHECK(is_connected(out.graph));
+  return out;
+}
+
+Graph erdos_renyi(std::size_t num_nodes, double p, util::Rng& rng,
+                  bool ensure_connected) {
+  MECRA_CHECK(p >= 0.0 && p <= 1.0);
+  Graph g(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < num_nodes; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  if (ensure_connected && num_nodes > 1) {
+    DisjointSets dsu(num_nodes);
+    for (const Edge& e : g.edges()) dsu.unite(e.u, e.v);
+    // Link components along the node order; no geometry here.
+    NodeId prev_root = 0;
+    for (NodeId v = 1; v < num_nodes; ++v) {
+      if (dsu.find(v) != dsu.find(prev_root)) {
+        g.add_edge(prev_root, v);
+        dsu.unite(prev_root, v);
+      }
+      prev_root = v;
+    }
+  }
+  return g;
+}
+
+Graph path_graph(std::size_t num_nodes) {
+  Graph g(num_nodes);
+  for (std::size_t i = 1; i < num_nodes; ++i) {
+    g.add_edge(static_cast<NodeId>(i - 1), static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Graph ring_graph(std::size_t num_nodes) {
+  MECRA_CHECK_MSG(num_nodes == 0 || num_nodes >= 3,
+                  "a ring needs at least 3 nodes");
+  Graph g = path_graph(num_nodes);
+  if (num_nodes >= 3) {
+    g.add_edge(static_cast<NodeId>(num_nodes - 1), 0);
+  }
+  return g;
+}
+
+Graph star_graph(std::size_t num_leaves) {
+  Graph g(num_leaves + 1);
+  for (std::size_t i = 1; i <= num_leaves; ++i) {
+    g.add_edge(0, static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Graph complete_graph(std::size_t num_nodes) {
+  Graph g(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < num_nodes; ++v) {
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+}  // namespace mecra::graph

@@ -1,0 +1,72 @@
+// Random and deterministic topology generators.
+//
+// The paper generates MEC topologies "using the widely adopted approach due
+// to GT-ITM". GT-ITM's flat random model is the Waxman model: nodes are
+// placed uniformly in the unit square and each pair (u, v) is connected with
+// probability alpha * exp(-d(u,v) / (beta * L)), where L is the maximum
+// possible distance. We implement that model plus an MST-based connectivity
+// repair (GT-ITM re-rolls until connected; repair is deterministic and
+// cheaper), and GT-ITM's hierarchical transit-stub model as an extension.
+// Deterministic shapes (path/ring/grid/star/complete) support unit tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace mecra::graph {
+
+struct WaxmanParams {
+  std::size_t num_nodes = 100;
+  /// Waxman alpha: overall edge density knob, in (0, 1].
+  double alpha = 0.4;
+  /// Waxman beta: locality knob (larger => longer edges likelier), in (0, 1].
+  double beta = 0.2;
+  /// When true, add minimum geometric-distance edges until connected.
+  bool ensure_connected = true;
+};
+
+struct GeneratedTopology {
+  Graph graph;
+  /// Node coordinates in the unit square (Waxman / transit-stub only).
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Flat Waxman random graph (GT-ITM "flat random" model).
+[[nodiscard]] GeneratedTopology waxman(const WaxmanParams& params,
+                                       util::Rng& rng);
+
+struct TransitStubParams {
+  /// Number of transit (backbone) nodes.
+  std::size_t num_transit = 4;
+  /// Stub domains attached per transit node.
+  std::size_t stubs_per_transit = 3;
+  /// Nodes per stub domain.
+  std::size_t nodes_per_stub = 8;
+  /// Intra-domain Waxman parameters.
+  double alpha = 0.6;
+  double beta = 0.4;
+};
+
+/// GT-ITM-style two-level transit-stub topology: a connected Waxman backbone
+/// of transit nodes; each transit node anchors `stubs_per_transit` connected
+/// Waxman stub domains, each joined to its transit node by one edge.
+/// Always connected.
+[[nodiscard]] GeneratedTopology transit_stub(const TransitStubParams& params,
+                                             util::Rng& rng);
+
+/// Erdős–Rényi G(n, p), optionally repaired to be connected.
+[[nodiscard]] Graph erdos_renyi(std::size_t num_nodes, double p,
+                                util::Rng& rng, bool ensure_connected = true);
+
+[[nodiscard]] Graph path_graph(std::size_t num_nodes);
+[[nodiscard]] Graph ring_graph(std::size_t num_nodes);
+[[nodiscard]] Graph star_graph(std::size_t num_leaves);
+[[nodiscard]] Graph complete_graph(std::size_t num_nodes);
+/// rows x cols 4-neighbor grid.
+[[nodiscard]] Graph grid_graph(std::size_t rows, std::size_t cols);
+
+}  // namespace mecra::graph

@@ -1,0 +1,263 @@
+#include "ilp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/timer.h"
+
+namespace mecra::ilp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Node {
+  /// Parent LP bound in MINIMIZATION terms (lower is more promising).
+  double bound;
+  std::size_t depth;
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+struct NodeOrder {
+  // priority_queue pops the LARGEST, so "a is worse than b" ordering pops
+  // the best bound first; deeper nodes win ties so dives reach incumbents.
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.depth < b.depth;
+  }
+};
+
+}  // namespace
+
+std::string to_string(IlpStatus status) {
+  switch (status) {
+    case IlpStatus::kOptimal: return "optimal";
+    case IlpStatus::kFeasible: return "feasible";
+    case IlpStatus::kInfeasible: return "infeasible";
+    case IlpStatus::kUnbounded: return "unbounded";
+    case IlpStatus::kLimit: return "limit";
+  }
+  return "unknown";
+}
+
+double IlpSolution::gap() const noexcept {
+  if (status == IlpStatus::kOptimal) return 0.0;
+  return std::abs(objective - best_bound);
+}
+
+IlpSolution BranchAndBoundSolver::solve(
+    const lp::Model& model, const std::vector<bool>& is_integer,
+    const std::vector<double>& warm_start) const {
+  MECRA_CHECK(is_integer.size() == model.num_variables());
+
+  const double sense = (model.sense() == lp::Sense::kMaximize) ? -1.0 : 1.0;
+  const util::Timer timer;
+  const std::size_t max_nodes =
+      options_.max_nodes != 0 ? options_.max_nodes : 200000;
+  lp::SimplexSolver lp_solver(options_.lp_options);
+
+  // Working model: bounds are overwritten per node; constraints/objective
+  // stay shared, so no per-node copies of the big parts.
+  lp::Model work = model;
+
+  IlpSolution out;
+  double incumbent = kInf;  // minimization view
+  std::vector<double> incumbent_x;
+  double worst_open_bound = kInf;  // best bound among abandoned nodes
+
+  if (!warm_start.empty()) {
+    MECRA_CHECK(warm_start.size() == model.num_variables());
+    MECRA_CHECK_MSG(model.max_violation(warm_start) <= 1e-6,
+                    "warm start must be feasible");
+    for (lp::VarId v = 0; v < model.num_variables(); ++v) {
+      if (is_integer[v]) {
+        MECRA_CHECK_MSG(
+            std::abs(warm_start[v] - std::round(warm_start[v])) <= 1e-6,
+            "warm start must be integral on integer variables");
+      }
+    }
+    incumbent = sense * model.objective_value(warm_start);
+    incumbent_x = warm_start;
+  }
+
+  // A node whose bound cannot beat the incumbent by more than the gap
+  // tolerances is pruned.
+  auto dominated = [&](double bound) {
+    if (bound >= incumbent - options_.absolute_gap) return true;
+    const double rel = options_.relative_gap * std::max(1.0, std::abs(incumbent));
+    return bound >= incumbent - rel;
+  };
+
+  // Dive-and-fix: round every integer variable of `relaxed` to the nearest
+  // integer inside the node bounds, pin it, and re-solve the LP for the
+  // continuous remainder. Any optimal re-solve is an integer-feasible
+  // incumbent candidate. Falls back to flooring when rounding is infeasible.
+  auto try_rounding = [&](const std::vector<double>& relaxed,
+                          const std::vector<double>& lo,
+                          const std::vector<double>& hi) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      for (lp::VarId v = 0; v < model.num_variables(); ++v) {
+        if (!is_integer[v]) {
+          work.set_bounds(v, lo[v], hi[v]);
+          continue;
+        }
+        double r = attempt == 0 ? std::round(relaxed[v])
+                                : std::floor(relaxed[v] + 1e-9);
+        r = std::clamp(r, lo[v], hi[v] == lp::kInfinity ? r : hi[v]);
+        work.set_bounds(v, r, r);
+      }
+      const lp::Solution fixed = lp_solver.solve(work);
+      if (!fixed.optimal()) continue;
+      const double obj = sense * model.objective_value(fixed.x);
+      if (obj < incumbent) {
+        incumbent = obj;
+        incumbent_x = fixed.x;
+        for (lp::VarId v = 0; v < model.num_variables(); ++v) {
+          if (is_integer[v]) incumbent_x[v] = std::round(incumbent_x[v]);
+        }
+      }
+      return;  // nearest-rounding worked; no need for the floor pass
+    }
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  {
+    Node root;
+    root.bound = -kInf;
+    root.depth = 0;
+    root.lower.resize(model.num_variables());
+    root.upper.resize(model.num_variables());
+    for (lp::VarId v = 0; v < model.num_variables(); ++v) {
+      const auto& var = model.variable(v);
+      // Integer variables get their bounds pre-rounded inward.
+      root.lower[v] = is_integer[v] ? std::ceil(var.lower - 1e-9) : var.lower;
+      root.upper[v] = is_integer[v] && var.upper != lp::kInfinity
+                          ? std::floor(var.upper + 1e-9)
+                          : var.upper;
+      if (root.lower[v] > root.upper[v]) {
+        out.status = IlpStatus::kInfeasible;
+        return out;
+      }
+    }
+    open.push(std::move(root));
+  }
+
+  bool hit_limit = false;
+  bool root_unbounded = false;
+
+  while (!open.empty()) {
+    if (out.nodes_explored >= max_nodes ||
+        (options_.time_limit_seconds > 0.0 &&
+         timer.elapsed_seconds() > options_.time_limit_seconds)) {
+      hit_limit = true;
+      worst_open_bound = std::min(worst_open_bound, open.top().bound);
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (incumbent < kInf && dominated(node.bound)) {
+      break;  // best-bound order: every remaining node is at least as bad
+    }
+    ++out.nodes_explored;
+
+    for (lp::VarId v = 0; v < model.num_variables(); ++v) {
+      work.set_bounds(v, node.lower[v], node.upper[v]);
+    }
+    const lp::Solution rel = lp_solver.solve(work);
+    if (rel.status == lp::SolveStatus::kInfeasible) continue;
+    if (rel.status == lp::SolveStatus::kUnbounded) {
+      if (node.depth == 0) root_unbounded = true;
+      break;
+    }
+    if (rel.status == lp::SolveStatus::kIterationLimit) {
+      // Cannot bound this subtree; treat conservatively as a limit.
+      hit_limit = true;
+      worst_open_bound = std::min(worst_open_bound, node.bound);
+      continue;
+    }
+    const double bound = sense * rel.objective;
+    if (incumbent < kInf && dominated(bound)) continue;
+
+    // Find the most fractional integer variable.
+    lp::VarId branch_var = static_cast<lp::VarId>(model.num_variables());
+    double best_frac_score = options_.integrality_tol;
+    for (lp::VarId v = 0; v < model.num_variables(); ++v) {
+      if (!is_integer[v]) continue;
+      const double x = rel.x[v];
+      const double frac = x - std::floor(x);
+      const double score = std::min(frac, 1.0 - frac);
+      if (score > best_frac_score) {
+        best_frac_score = score;
+        branch_var = v;
+      }
+    }
+
+    if (branch_var == model.num_variables()) {
+      // Integral: snap and accept as incumbent.
+      std::vector<double> x = rel.x;
+      for (lp::VarId v = 0; v < model.num_variables(); ++v) {
+        if (is_integer[v]) x[v] = std::round(x[v]);
+      }
+      const double obj = sense * model.objective_value(x);
+      if (obj < incumbent) {
+        incumbent = obj;
+        incumbent_x = std::move(x);
+      }
+      continue;
+    }
+
+    // Primal heuristic: always while no incumbent exists, periodically
+    // afterwards.
+    if (options_.rounding_period != 0 &&
+        (incumbent == kInf ||
+         out.nodes_explored % options_.rounding_period == 0)) {
+      try_rounding(rel.x, node.lower, node.upper);
+      if (dominated(bound)) continue;  // the heuristic closed this node
+    }
+
+    const double xv = rel.x[branch_var];
+    Node down = node;
+    down.bound = bound;
+    down.depth = node.depth + 1;
+    down.upper[branch_var] = std::floor(xv);
+    Node up = std::move(node);
+    up.bound = bound;
+    up.depth = down.depth;
+    up.lower[branch_var] = std::floor(xv) + 1.0;
+    if (down.lower[branch_var] <= down.upper[branch_var]) {
+      open.push(std::move(down));
+    }
+    if (up.upper[branch_var] == lp::kInfinity ||
+        up.lower[branch_var] <= up.upper[branch_var]) {
+      open.push(std::move(up));
+    }
+  }
+
+  if (root_unbounded) {
+    out.status = IlpStatus::kUnbounded;
+    return out;
+  }
+
+  const bool have_incumbent = incumbent < kInf;
+  if (have_incumbent) {
+    out.objective = sense * incumbent;
+    out.x = std::move(incumbent_x);
+  }
+  if (hit_limit) {
+    out.status = have_incumbent ? IlpStatus::kFeasible : IlpStatus::kLimit;
+    const double bound_min = std::min(worst_open_bound, incumbent);
+    out.best_bound = sense * bound_min;
+    return out;
+  }
+  if (!have_incumbent) {
+    out.status = IlpStatus::kInfeasible;
+    return out;
+  }
+  out.status = IlpStatus::kOptimal;
+  out.best_bound = out.objective;
+  return out;
+}
+
+}  // namespace mecra::ilp

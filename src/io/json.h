@@ -1,0 +1,100 @@
+// Minimal, dependency-free JSON: a value type, a strict parser, and a
+// deterministic serializer. Scope: what the scenario/result persistence
+// layer needs — UTF-8 pass-through strings with standard escapes, doubles
+// with round-trip precision, arrays, and objects with insertion-ordered
+// keys (deterministic output for diffable artifacts).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mecra::io {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+
+/// Object preserving insertion order (deterministic serialization).
+class JsonObject {
+ public:
+  /// Inserts or overwrites a key.
+  void set(const std::string& key, Json value);
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Access; requires the key to exist.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  [[nodiscard]] const std::vector<std::string>& keys() const noexcept {
+    return keys_;
+  }
+
+ private:
+  std::vector<std::string> keys_;
+  std::map<std::string, std::unique_ptr<Json>> values_;
+};
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  /// Any integral type converts through double (values beyond 2^53 lose
+  /// precision, far above anything the library serializes).
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  Json(T i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return holds<std::nullptr_t>(); }
+  [[nodiscard]] bool is_bool() const { return holds<bool>(); }
+  [[nodiscard]] bool is_number() const { return holds<double>(); }
+  [[nodiscard]] bool is_string() const { return holds<std::string>(); }
+  [[nodiscard]] bool is_array() const { return holds<JsonArray>(); }
+  [[nodiscard]] bool is_object() const { return holds<JsonObject>(); }
+
+  [[nodiscard]] bool as_bool() const { return get<bool>(); }
+  [[nodiscard]] double as_double() const { return get<double>(); }
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const {
+    return get<std::string>();
+  }
+  [[nodiscard]] const JsonArray& as_array() const { return get<JsonArray>(); }
+  [[nodiscard]] const JsonObject& as_object() const {
+    return get<JsonObject>();
+  }
+
+  /// Serializes compactly (no whitespace) when indent < 0, pretty-printed
+  /// with the given indent width otherwise.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parse; throws util::CheckFailure with position info on errors.
+  [[nodiscard]] static Json parse(const std::string& text);
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool holds() const {
+    return std::holds_alternative<T>(value_);
+  }
+  template <typename T>
+  [[nodiscard]] const T& get() const {
+    MECRA_CHECK_MSG(std::holds_alternative<T>(value_),
+                    "JSON value has a different type");
+    return std::get<T>(value_);
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+}  // namespace mecra::io

@@ -1,0 +1,266 @@
+#include "io/scenario_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mecra::io {
+
+namespace {
+
+JsonArray doubles_to_json(const std::vector<double>& values) {
+  JsonArray arr;
+  arr.reserve(values.size());
+  for (double v : values) arr.emplace_back(v);
+  return arr;
+}
+
+std::vector<double> doubles_from_json(const Json& json) {
+  std::vector<double> out;
+  for (const Json& v : json.as_array()) out.push_back(v.as_double());
+  return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- graph
+
+Json to_json(const graph::Graph& g) {
+  JsonObject obj;
+  obj.set("nodes", Json(g.num_nodes()));
+  JsonArray edges;
+  for (const auto& e : g.edges()) {
+    JsonArray edge;
+    edge.emplace_back(e.u);
+    edge.emplace_back(e.v);
+    edge.emplace_back(e.weight);
+    edges.emplace_back(std::move(edge));
+  }
+  obj.set("edges", Json(std::move(edges)));
+  return Json(std::move(obj));
+}
+
+graph::Graph graph_from_json(const Json& json) {
+  const auto& obj = json.as_object();
+  graph::Graph g(static_cast<std::size_t>(obj.at("nodes").as_int()));
+  for (const Json& edge : obj.at("edges").as_array()) {
+    const auto& triple = edge.as_array();
+    MECRA_CHECK(triple.size() == 3);
+    g.add_edge(static_cast<graph::NodeId>(triple[0].as_int()),
+               static_cast<graph::NodeId>(triple[1].as_int()),
+               triple[2].as_double());
+  }
+  return g;
+}
+
+// --------------------------------------------------------------- network
+
+Json to_json(const mec::MecNetwork& network) {
+  JsonObject obj;
+  obj.set("topology", to_json(network.topology()));
+  JsonArray capacity;
+  JsonArray residual;
+  for (graph::NodeId v = 0; v < network.num_nodes(); ++v) {
+    capacity.emplace_back(network.capacity(v));
+    residual.emplace_back(network.residual(v));
+  }
+  obj.set("capacity", Json(std::move(capacity)));
+  obj.set("residual", Json(std::move(residual)));
+  return Json(std::move(obj));
+}
+
+mec::MecNetwork network_from_json(const Json& json) {
+  const auto& obj = json.as_object();
+  auto topology = graph_from_json(obj.at("topology"));
+  auto capacity = doubles_from_json(obj.at("capacity"));
+  const auto residual = doubles_from_json(obj.at("residual"));
+  MECRA_CHECK(capacity.size() == residual.size());
+  mec::MecNetwork network(std::move(topology), std::move(capacity));
+  for (graph::NodeId v = 0; v < network.num_nodes(); ++v) {
+    const double used = network.capacity(v) - residual[v];
+    MECRA_CHECK_MSG(used >= -1e-9, "residual exceeds capacity in archive");
+    if (used > 0.0) network.consume(v, used, /*allow_violation=*/true);
+  }
+  return network;
+}
+
+// --------------------------------------------------------------- catalog
+
+Json to_json(const mec::VnfCatalog& catalog) {
+  JsonArray functions;
+  for (const auto& fn : catalog.functions()) {
+    JsonObject f;
+    f.set("name", Json(fn.name));
+    f.set("reliability", Json(fn.reliability));
+    f.set("demand", Json(fn.cpu_demand));
+    functions.emplace_back(std::move(f));
+  }
+  JsonObject obj;
+  obj.set("functions", Json(std::move(functions)));
+  return Json(std::move(obj));
+}
+
+mec::VnfCatalog catalog_from_json(const Json& json) {
+  std::vector<mec::NetworkFunction> functions;
+  for (const Json& f : json.as_object().at("functions").as_array()) {
+    const auto& obj = f.as_object();
+    mec::NetworkFunction fn;
+    fn.name = obj.at("name").as_string();
+    fn.reliability = obj.at("reliability").as_double();
+    fn.cpu_demand = obj.at("demand").as_double();
+    functions.push_back(std::move(fn));
+  }
+  return mec::VnfCatalog(std::move(functions));
+}
+
+// --------------------------------------------------------------- request
+
+Json to_json(const mec::SfcRequest& request) {
+  JsonObject obj;
+  obj.set("id", Json(request.id));
+  JsonArray chain;
+  for (mec::FunctionId f : request.chain) chain.emplace_back(f);
+  obj.set("chain", Json(std::move(chain)));
+  obj.set("expectation", Json(request.expectation));
+  obj.set("source", Json(request.source));
+  obj.set("destination", Json(request.destination));
+  return Json(std::move(obj));
+}
+
+mec::SfcRequest request_from_json(const Json& json) {
+  const auto& obj = json.as_object();
+  mec::SfcRequest request;
+  request.id = static_cast<mec::RequestId>(obj.at("id").as_int());
+  for (const Json& f : obj.at("chain").as_array()) {
+    request.chain.push_back(static_cast<mec::FunctionId>(f.as_int()));
+  }
+  request.expectation = obj.at("expectation").as_double();
+  request.source = static_cast<graph::NodeId>(obj.at("source").as_int());
+  request.destination =
+      static_cast<graph::NodeId>(obj.at("destination").as_int());
+  return request;
+}
+
+// -------------------------------------------------------------- placement
+
+Json to_json(const admission::PrimaryPlacement& placement) {
+  JsonArray arr;
+  for (graph::NodeId v : placement.cloudlet_of) arr.emplace_back(v);
+  JsonObject obj;
+  obj.set("cloudlets", Json(std::move(arr)));
+  return Json(std::move(obj));
+}
+
+admission::PrimaryPlacement placement_from_json(const Json& json) {
+  admission::PrimaryPlacement placement;
+  for (const Json& v : json.as_object().at("cloudlets").as_array()) {
+    placement.cloudlet_of.push_back(
+        static_cast<graph::NodeId>(v.as_int()));
+  }
+  return placement;
+}
+
+// ---------------------------------------------------------------- result
+
+Json to_json(const core::AugmentationResult& result) {
+  JsonObject obj;
+  obj.set("algorithm", Json(result.algorithm));
+  JsonArray placements;
+  for (const auto& p : result.placements) {
+    JsonArray pair;
+    pair.emplace_back(p.chain_pos);
+    pair.emplace_back(p.cloudlet);
+    placements.emplace_back(std::move(pair));
+  }
+  obj.set("placements", Json(std::move(placements)));
+  JsonArray secondaries;
+  for (std::uint32_t s : result.secondaries) secondaries.emplace_back(s);
+  obj.set("secondaries", Json(std::move(secondaries)));
+  obj.set("initial_reliability", Json(result.initial_reliability));
+  obj.set("achieved_reliability", Json(result.achieved_reliability));
+  obj.set("expectation_met", Json(result.expectation_met));
+  obj.set("runtime_seconds", Json(result.runtime_seconds));
+  obj.set("usage_ratio", Json(doubles_to_json(result.usage_ratio)));
+  obj.set("avg_usage", Json(result.avg_usage));
+  obj.set("min_usage", Json(result.min_usage));
+  obj.set("max_usage", Json(result.max_usage));
+  obj.set("solver_nodes", Json(result.solver_nodes));
+  obj.set("objective_gain", Json(result.objective_gain));
+  return Json(std::move(obj));
+}
+
+core::AugmentationResult result_from_json(const Json& json) {
+  const auto& obj = json.as_object();
+  core::AugmentationResult result;
+  result.algorithm = obj.at("algorithm").as_string();
+  for (const Json& p : obj.at("placements").as_array()) {
+    const auto& pair = p.as_array();
+    MECRA_CHECK(pair.size() == 2);
+    result.placements.push_back(core::SecondaryPlacement{
+        static_cast<std::uint32_t>(pair[0].as_int()),
+        static_cast<graph::NodeId>(pair[1].as_int())});
+  }
+  result.initial_reliability = obj.at("initial_reliability").as_double();
+  result.achieved_reliability = obj.at("achieved_reliability").as_double();
+  result.expectation_met = obj.at("expectation_met").as_bool();
+  result.runtime_seconds = obj.at("runtime_seconds").as_double();
+  result.usage_ratio = doubles_from_json(obj.at("usage_ratio"));
+  result.avg_usage = obj.at("avg_usage").as_double();
+  result.min_usage = obj.at("min_usage").as_double();
+  result.max_usage = obj.at("max_usage").as_double();
+  result.solver_nodes =
+      static_cast<std::size_t>(obj.at("solver_nodes").as_int());
+  result.objective_gain = obj.at("objective_gain").as_double();
+  for (const Json& s : obj.at("secondaries").as_array()) {
+    result.secondaries.push_back(static_cast<std::uint32_t>(s.as_int()));
+  }
+  return result;
+}
+
+// --------------------------------------------------------------- archive
+
+Json to_json(const ScenarioArchive& archive) {
+  JsonObject obj;
+  obj.set("format", Json("mecra-scenario-v1"));
+  obj.set("network", to_json(archive.network));
+  obj.set("catalog", to_json(archive.catalog));
+  obj.set("request", to_json(archive.request));
+  obj.set("primaries", to_json(archive.primaries));
+  JsonArray results;
+  for (const auto& r : archive.results) results.push_back(to_json(r));
+  obj.set("results", Json(std::move(results)));
+  return Json(std::move(obj));
+}
+
+ScenarioArchive archive_from_json(const Json& json) {
+  const auto& obj = json.as_object();
+  MECRA_CHECK_MSG(obj.at("format").as_string() == "mecra-scenario-v1",
+                  "unknown archive format");
+  ScenarioArchive archive{
+      network_from_json(obj.at("network")),
+      catalog_from_json(obj.at("catalog")),
+      request_from_json(obj.at("request")),
+      placement_from_json(obj.at("primaries")),
+      {},
+  };
+  for (const Json& r : obj.at("results").as_array()) {
+    archive.results.push_back(result_from_json(r));
+  }
+  return archive;
+}
+
+void save_archive(const ScenarioArchive& archive, const std::string& path) {
+  std::ofstream out(path);
+  MECRA_CHECK_MSG(out.good(), "cannot open archive for writing: " + path);
+  out << to_json(archive).dump(2) << '\n';
+  MECRA_CHECK_MSG(out.good(), "failed writing archive: " + path);
+}
+
+ScenarioArchive load_archive(const std::string& path) {
+  std::ifstream in(path);
+  MECRA_CHECK_MSG(in.good(), "cannot open archive: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return archive_from_json(Json::parse(buffer.str()));
+}
+
+}  // namespace mecra::io

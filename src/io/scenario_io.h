@@ -1,0 +1,54 @@
+// Persistence of experiment artifacts: networks, catalogs, requests,
+// primary placements, and augmentation results round-trip through JSON so
+// a scenario can be archived with its results, shared, and replayed
+// bit-identically in a later session.
+#pragma once
+
+#include <string>
+
+#include "admission/admission.h"
+#include "core/augmentation.h"
+#include "io/json.h"
+#include "mec/network.h"
+#include "mec/request.h"
+#include "mec/vnf.h"
+
+namespace mecra::io {
+
+[[nodiscard]] Json to_json(const graph::Graph& graph);
+[[nodiscard]] graph::Graph graph_from_json(const Json& json);
+
+/// Serializes capacity AND current residual, so mid-experiment states
+/// round-trip exactly.
+[[nodiscard]] Json to_json(const mec::MecNetwork& network);
+[[nodiscard]] mec::MecNetwork network_from_json(const Json& json);
+
+[[nodiscard]] Json to_json(const mec::VnfCatalog& catalog);
+[[nodiscard]] mec::VnfCatalog catalog_from_json(const Json& json);
+
+[[nodiscard]] Json to_json(const mec::SfcRequest& request);
+[[nodiscard]] mec::SfcRequest request_from_json(const Json& json);
+
+[[nodiscard]] Json to_json(const admission::PrimaryPlacement& placement);
+[[nodiscard]] admission::PrimaryPlacement placement_from_json(const Json& json);
+
+[[nodiscard]] Json to_json(const core::AugmentationResult& result);
+[[nodiscard]] core::AugmentationResult result_from_json(const Json& json);
+
+/// A complete archived experiment: everything needed to rebuild the BMCGAP
+/// instance and verify the stored result.
+struct ScenarioArchive {
+  mec::MecNetwork network;
+  mec::VnfCatalog catalog;
+  mec::SfcRequest request;
+  admission::PrimaryPlacement primaries;
+  std::vector<core::AugmentationResult> results;
+};
+
+[[nodiscard]] Json to_json(const ScenarioArchive& archive);
+[[nodiscard]] ScenarioArchive archive_from_json(const Json& json);
+
+void save_archive(const ScenarioArchive& archive, const std::string& path);
+[[nodiscard]] ScenarioArchive load_archive(const std::string& path);
+
+}  // namespace mecra::io

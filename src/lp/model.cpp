@@ -1,0 +1,84 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mecra::lp {
+
+VarId Model::add_variable(double lower, double upper, double objective,
+                          std::string name) {
+  MECRA_CHECK_MSG(std::isfinite(lower), "lower bound must be finite");
+  MECRA_CHECK_MSG(lower <= upper, "lower bound must not exceed upper bound");
+  MECRA_CHECK_MSG(!std::isnan(upper), "upper bound must not be NaN");
+  MECRA_CHECK_MSG(std::isfinite(objective), "objective must be finite");
+  variables_.push_back(Variable{lower, upper, objective, std::move(name)});
+  return static_cast<VarId>(variables_.size() - 1);
+}
+
+RowId Model::add_constraint(std::vector<Term> terms, Relation relation,
+                            double rhs, std::string name) {
+  MECRA_CHECK_MSG(std::isfinite(rhs), "constraint rhs must be finite");
+  // Merge duplicate variables and drop zero coefficients so the solver sees
+  // a clean sparse row.
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  merged.reserve(terms.size());
+  for (const Term& t : terms) {
+    MECRA_CHECK_MSG(t.var < variables_.size(), "constraint uses unknown var");
+    MECRA_CHECK_MSG(std::isfinite(t.coeff), "coefficient must be finite");
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  std::erase_if(merged, [](const Term& t) { return t.coeff == 0.0; });
+  constraints_.push_back(
+      Constraint{std::move(merged), relation, rhs, std::move(name)});
+  return static_cast<RowId>(constraints_.size() - 1);
+}
+
+void Model::set_bounds(VarId v, double lower, double upper) {
+  MECRA_CHECK(v < variables_.size());
+  MECRA_CHECK_MSG(std::isfinite(lower), "lower bound must be finite");
+  MECRA_CHECK_MSG(lower <= upper, "lower bound must not exceed upper bound");
+  variables_[v].lower = lower;
+  variables_[v].upper = upper;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  MECRA_CHECK(x.size() == variables_.size());
+  double total = 0.0;
+  for (std::size_t v = 0; v < variables_.size(); ++v) {
+    total += variables_[v].objective * x[v];
+  }
+  return total;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  MECRA_CHECK(x.size() == variables_.size());
+  double worst = 0.0;
+  for (std::size_t v = 0; v < variables_.size(); ++v) {
+    worst = std::max(worst, variables_[v].lower - x[v]);
+    worst = std::max(worst, x[v] - variables_[v].upper);
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const Term& t : c.terms) lhs += t.coeff * x[t.var];
+    switch (c.relation) {
+      case Relation::kLessEqual:
+        worst = std::max(worst, lhs - c.rhs);
+        break;
+      case Relation::kGreaterEqual:
+        worst = std::max(worst, c.rhs - lhs);
+        break;
+      case Relation::kEqual:
+        worst = std::max(worst, std::abs(lhs - c.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace mecra::lp

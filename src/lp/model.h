@@ -1,0 +1,99 @@
+// Linear-program model builder.
+//
+// A Model is a set of bounded variables, a linear objective, and sparse
+// linear constraints. It is solver-agnostic data; SimplexSolver (simplex.h)
+// consumes it. Variables have finite lower bounds (the library never needs
+// free variables; the builder enforces this) and finite or +inf upper
+// bounds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mecra::lp {
+
+using VarId = std::uint32_t;
+using RowId = std::uint32_t;
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { kMinimize, kMaximize };
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One term of a sparse linear expression.
+struct Term {
+  VarId var;
+  double coeff;
+};
+
+struct Variable {
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  std::string name;
+};
+
+struct Constraint {
+  std::vector<Term> terms;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+class Model {
+ public:
+  explicit Model(Sense sense = Sense::kMinimize) : sense_(sense) {}
+
+  [[nodiscard]] Sense sense() const noexcept { return sense_; }
+  void set_sense(Sense sense) noexcept { sense_ = sense; }
+
+  /// Adds a variable with bounds [lower, upper] and objective coefficient.
+  /// `lower` must be finite and <= upper.
+  VarId add_variable(double lower, double upper, double objective,
+                     std::string name = "");
+
+  /// Convenience: binary-relaxed variable in [0, 1].
+  VarId add_unit_variable(double objective, std::string name = "") {
+    return add_variable(0.0, 1.0, objective, std::move(name));
+  }
+
+  /// Adds a constraint. Terms may repeat a variable; they are summed.
+  RowId add_constraint(std::vector<Term> terms, Relation relation, double rhs,
+                       std::string name = "");
+
+  [[nodiscard]] std::size_t num_variables() const noexcept {
+    return variables_.size();
+  }
+  [[nodiscard]] std::size_t num_constraints() const noexcept {
+    return constraints_.size();
+  }
+
+  [[nodiscard]] const Variable& variable(VarId v) const {
+    MECRA_CHECK(v < variables_.size());
+    return variables_[v];
+  }
+  [[nodiscard]] const Constraint& constraint(RowId r) const {
+    MECRA_CHECK(r < constraints_.size());
+    return constraints_[r];
+  }
+
+  /// Tightens the bounds of an existing variable (used by branch-and-bound).
+  void set_bounds(VarId v, double lower, double upper);
+
+  /// Evaluates the objective at a point (size must match num_variables()).
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// Max violation of any constraint/bound at x (0 when feasible).
+  [[nodiscard]] double max_violation(const std::vector<double>& x) const;
+
+ private:
+  Sense sense_;
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace mecra::lp

@@ -1,0 +1,385 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mecra::lp {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+enum class VarStatus : std::uint8_t { kBasic, kAtLower, kAtUpper };
+
+/// Internal working state: the model rewritten as
+///   min c'x  s.t.  T x = b,  0 <= x <= U
+/// with columns [structural | slack | artificial] and all rhs >= 0.
+struct Tableau {
+  std::size_t num_rows = 0;
+  std::size_t num_structural = 0;
+  std::size_t num_cols = 0;          // structural + slack + artificial
+  std::size_t first_artificial = 0;  // == num_cols when none
+  util::Matrix t;                    // num_rows x num_cols, pivoted in place
+  std::vector<double> upper;         // U_j (shifted); +inf allowed
+  std::vector<double> cost;          // phase-2 cost (shifted space)
+  std::vector<double> d;             // reduced-cost row, maintained by pivots
+  std::vector<double> xval;          // current value per column (shifted)
+  std::vector<VarStatus> status;
+  std::vector<std::size_t> basic;    // basic column per row
+  std::vector<std::size_t> row_cert; // slack-or-artificial column per row
+  std::vector<double> row_cert_coef; // its coefficient in that row
+  std::vector<double> row_sign;      // +-1 applied to normalize rhs >= 0
+  std::vector<double> shift;         // lower bound per structural var
+};
+
+Tableau build_tableau(const Model& model, double sense_factor) {
+  Tableau tb;
+  const std::size_t n = model.num_variables();
+  const std::size_t m = model.num_constraints();
+  tb.num_rows = m;
+  tb.num_structural = n;
+
+  tb.shift.resize(n);
+  for (VarId v = 0; v < n; ++v) tb.shift[v] = model.variable(v).lower;
+
+  // Pass 1: decide slack/artificial layout. Every row gets a slack except
+  // equality rows; a row needs an artificial unless its slack enters the
+  // initial basis with a +1 coefficient after sign normalization.
+  std::vector<double> rhs(m);
+  std::vector<int> slack_col(m, -1);
+  std::vector<double> slack_coef(m, 0.0);
+  tb.row_sign.assign(m, 1.0);
+  std::size_t next_col = n;
+  for (RowId r = 0; r < m; ++r) {
+    const Constraint& c = model.constraint(r);
+    double b = c.rhs;
+    for (const Term& term : c.terms) b -= term.coeff * tb.shift[term.var];
+    rhs[r] = b;
+    if (c.relation != Relation::kEqual) {
+      slack_col[r] = static_cast<int>(next_col++);
+      slack_coef[r] = (c.relation == Relation::kLessEqual) ? 1.0 : -1.0;
+    }
+  }
+  const std::size_t num_slack = next_col - n;
+  std::vector<int> art_col(m, -1);
+  tb.first_artificial = next_col;
+  for (RowId r = 0; r < m; ++r) {
+    const double sign = (rhs[r] < 0.0) ? -1.0 : 1.0;
+    tb.row_sign[r] = sign;
+    // After normalization the slack coefficient is slack_coef * sign; it can
+    // start basic only when that is +1 (value rhs*sign >= 0 within [0, inf)).
+    const bool slack_basic = slack_col[r] >= 0 && slack_coef[r] * sign > 0.0;
+    if (!slack_basic) art_col[r] = static_cast<int>(next_col++);
+  }
+  tb.num_cols = next_col;
+
+  tb.t.reset(m, tb.num_cols, 0.0);
+  tb.upper.assign(tb.num_cols, kInfinity);
+  tb.cost.assign(tb.num_cols, 0.0);
+  tb.xval.assign(tb.num_cols, 0.0);
+  tb.status.assign(tb.num_cols, VarStatus::kAtLower);
+  tb.basic.assign(m, 0);
+  tb.row_cert.assign(m, 0);
+  tb.row_cert_coef.assign(m, 1.0);
+
+  for (VarId v = 0; v < n; ++v) {
+    const Variable& var = model.variable(v);
+    tb.upper[v] = var.upper - var.lower;  // may be +inf
+    tb.cost[v] = sense_factor * var.objective;
+  }
+  (void)num_slack;
+
+  for (RowId r = 0; r < m; ++r) {
+    const Constraint& c = model.constraint(r);
+    const double sign = tb.row_sign[r];
+    for (const Term& term : c.terms) {
+      tb.t(r, term.var) += sign * term.coeff;
+    }
+    rhs[r] *= sign;
+    if (slack_col[r] >= 0) {
+      const auto sc = static_cast<std::size_t>(slack_col[r]);
+      tb.t(r, sc) = slack_coef[r] * sign;
+      tb.row_cert[r] = sc;
+      tb.row_cert_coef[r] = slack_coef[r] * sign;
+    }
+    if (art_col[r] >= 0) {
+      const auto ac = static_cast<std::size_t>(art_col[r]);
+      tb.t(r, ac) = 1.0;
+      tb.basic[r] = ac;
+      tb.status[ac] = VarStatus::kBasic;
+      tb.xval[ac] = rhs[r];
+      // Equality rows have no slack; their dual certificate is the
+      // artificial column instead.
+      if (slack_col[r] < 0) {
+        tb.row_cert[r] = ac;
+        tb.row_cert_coef[r] = 1.0;
+      }
+    } else {
+      const auto sc = static_cast<std::size_t>(slack_col[r]);
+      tb.basic[r] = sc;
+      tb.status[sc] = VarStatus::kBasic;
+      tb.xval[sc] = rhs[r];
+    }
+  }
+  return tb;
+}
+
+/// Recomputes the reduced-cost row d = cost - cost_B' * T from scratch.
+void reset_reduced_costs(Tableau& tb) {
+  tb.d = tb.cost;
+  for (std::size_t r = 0; r < tb.num_rows; ++r) {
+    const double cb = tb.cost[tb.basic[r]];
+    if (cb == 0.0) continue;
+    const auto row = tb.t.row(r);
+    for (std::size_t j = 0; j < tb.num_cols; ++j) {
+      tb.d[j] -= cb * row[j];
+    }
+  }
+}
+
+struct PivotLimits {
+  std::size_t max_iterations;
+  double tol;
+  std::size_t degenerate_switch;
+};
+
+enum class PhaseResult { kOptimal, kUnbounded, kIterationLimit };
+
+/// Runs primal simplex pivots until optimality for the current cost row.
+/// `allow_entering(j)` filters candidate entering columns (used to ban
+/// artificials in phase 2).
+template <typename Filter>
+PhaseResult run_simplex(Tableau& tb, const PivotLimits& lim,
+                        std::size_t& iterations, const Filter& allow_entering) {
+  const double tol = lim.tol;
+  std::size_t degenerate_run = 0;
+  bool bland = false;
+
+  for (;; ++iterations) {
+    if (iterations >= lim.max_iterations) return PhaseResult::kIterationLimit;
+    if (degenerate_run > lim.degenerate_switch) bland = true;
+
+    // --- Pricing: pick the entering column q. ---
+    std::size_t q = tb.num_cols;
+    double best_score = tol;
+    for (std::size_t j = 0; j < tb.num_cols; ++j) {
+      if (tb.status[j] == VarStatus::kBasic || !allow_entering(j)) continue;
+      double score = 0.0;
+      if (tb.status[j] == VarStatus::kAtLower && tb.d[j] < -tol) {
+        score = -tb.d[j];
+      } else if (tb.status[j] == VarStatus::kAtUpper && tb.d[j] > tol) {
+        score = tb.d[j];
+      } else {
+        continue;
+      }
+      if (bland) {  // first eligible index
+        q = j;
+        break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        q = j;
+      }
+    }
+    if (q == tb.num_cols) return PhaseResult::kOptimal;
+
+    const double sigma = (tb.status[q] == VarStatus::kAtLower) ? 1.0 : -1.0;
+
+    // --- Ratio test (bounded-variable rule, incl. bound flip). ---
+    double t_limit = tb.upper[q];  // bound-flip distance; may be +inf
+    std::size_t leave_row = tb.num_rows;
+    double leave_alpha = 0.0;  // sigma * T(r, q) of the limiting row
+    for (std::size_t r = 0; r < tb.num_rows; ++r) {
+      const double alpha = sigma * tb.t(r, q);
+      if (std::abs(alpha) <= tol) continue;
+      const std::size_t bvar = tb.basic[r];
+      double ratio;
+      if (alpha > 0.0) {  // basic value decreases toward 0
+        ratio = tb.xval[bvar] / alpha;
+      } else {  // basic value increases toward its upper bound
+        if (tb.upper[bvar] == kInfinity) continue;
+        ratio = (tb.upper[bvar] - tb.xval[bvar]) / (-alpha);
+      }
+      ratio = std::max(ratio, 0.0);
+      bool better;
+      if (ratio < t_limit - 1e-12) {
+        better = true;
+      } else if (ratio <= t_limit + 1e-12 && leave_row != tb.num_rows) {
+        // Tie: Bland wants the smallest basic index; otherwise prefer the
+        // numerically largest pivot element.
+        better = bland ? (bvar < tb.basic[leave_row])
+                       : (std::abs(alpha) > std::abs(leave_alpha));
+      } else {
+        better = false;
+      }
+      if (better) {
+        t_limit = std::min(t_limit, ratio);
+        leave_row = r;
+        leave_alpha = alpha;
+      }
+    }
+
+    if (t_limit == kInfinity) return PhaseResult::kUnbounded;
+
+    if (leave_row == tb.num_rows) {
+      // Pure bound flip: q travels to its opposite bound; basis unchanged.
+      const double step = sigma * t_limit;
+      for (std::size_t r = 0; r < tb.num_rows; ++r) {
+        tb.xval[tb.basic[r]] -= step * tb.t(r, q);
+      }
+      if (sigma > 0.0) {
+        tb.xval[q] = tb.upper[q];
+        tb.status[q] = VarStatus::kAtUpper;
+      } else {
+        tb.xval[q] = 0.0;
+        tb.status[q] = VarStatus::kAtLower;
+      }
+      degenerate_run = (t_limit <= tol) ? degenerate_run + 1 : 0;
+      continue;
+    }
+
+    // --- Pivot: q enters, basic[leave_row] leaves. ---
+    const double step = sigma * t_limit;
+    for (std::size_t r = 0; r < tb.num_rows; ++r) {
+      tb.xval[tb.basic[r]] -= step * tb.t(r, q);
+    }
+    tb.xval[q] += step;
+
+    const std::size_t leaving = tb.basic[leave_row];
+    if (leave_alpha > 0.0) {
+      tb.status[leaving] = VarStatus::kAtLower;
+      tb.xval[leaving] = 0.0;
+    } else {
+      tb.status[leaving] = VarStatus::kAtUpper;
+      tb.xval[leaving] = tb.upper[leaving];
+    }
+    tb.basic[leave_row] = q;
+    tb.status[q] = VarStatus::kBasic;
+
+    auto pivot_row = tb.t.row(leave_row);
+    const double piv = pivot_row[q];
+    MECRA_CHECK_MSG(std::abs(piv) > 1e-12, "numerically singular pivot");
+    for (double& cell : pivot_row) cell /= piv;
+    pivot_row[q] = 1.0;  // kill roundoff
+    for (std::size_t r = 0; r < tb.num_rows; ++r) {
+      if (r == leave_row) continue;
+      const double factor = tb.t(r, q);
+      if (factor == 0.0) continue;
+      auto row = tb.t.row(r);
+      for (std::size_t j = 0; j < tb.num_cols; ++j) {
+        row[j] -= factor * pivot_row[j];
+      }
+      row[q] = 0.0;
+    }
+    {
+      const double factor = tb.d[q];
+      if (factor != 0.0) {
+        for (std::size_t j = 0; j < tb.num_cols; ++j) {
+          tb.d[j] -= factor * pivot_row[j];
+        }
+        tb.d[q] = 0.0;
+      }
+    }
+    degenerate_run = (t_limit <= tol) ? degenerate_run + 1 : 0;
+  }
+}
+
+}  // namespace
+
+Solution SimplexSolver::solve(const Model& model) const {
+  const double sense_factor =
+      (model.sense() == Sense::kMaximize) ? -1.0 : 1.0;
+  Tableau tb = build_tableau(model, sense_factor);
+
+  Solution sol;
+  sol.x.assign(model.num_variables(), 0.0);
+  sol.duals.assign(model.num_constraints(), 0.0);
+
+  const double tol = options_.tolerance;
+  PivotLimits lim{
+      options_.max_iterations != 0
+          ? options_.max_iterations
+          : 400 * (tb.num_rows + tb.num_cols + 1),
+      tol, options_.degenerate_switch};
+
+  // ---- Phase 1: minimize the sum of artificials. ----
+  const bool has_artificials = tb.first_artificial < tb.num_cols;
+  if (has_artificials) {
+    std::vector<double> phase2_cost = tb.cost;
+    for (std::size_t j = 0; j < tb.num_cols; ++j) {
+      tb.cost[j] = (j >= tb.first_artificial) ? 1.0 : 0.0;
+    }
+    reset_reduced_costs(tb);
+    const PhaseResult r1 = run_simplex(tb, lim, sol.iterations,
+                                       [](std::size_t) { return true; });
+    if (r1 == PhaseResult::kIterationLimit) {
+      sol.status = SolveStatus::kIterationLimit;
+      return sol;
+    }
+    double infeasibility = 0.0;
+    for (std::size_t j = tb.first_artificial; j < tb.num_cols; ++j) {
+      infeasibility += tb.xval[j];
+    }
+    if (infeasibility > 1e-7) {
+      sol.status = SolveStatus::kInfeasible;
+      return sol;
+    }
+    // Clamp artificials so phase 2 can never move them off zero; the ratio
+    // test keeps a basic variable inside [0, upper], so upper = 0 pins them.
+    for (std::size_t j = tb.first_artificial; j < tb.num_cols; ++j) {
+      tb.upper[j] = 0.0;
+      tb.xval[j] = 0.0;
+      if (tb.status[j] == VarStatus::kAtUpper) tb.status[j] = VarStatus::kAtLower;
+    }
+    tb.cost = std::move(phase2_cost);
+  }
+
+  // ---- Phase 2: original objective. ----
+  reset_reduced_costs(tb);
+  const std::size_t first_art = tb.first_artificial;
+  const PhaseResult r2 =
+      run_simplex(tb, lim, sol.iterations,
+                  [first_art](std::size_t j) { return j < first_art; });
+  switch (r2) {
+    case PhaseResult::kIterationLimit:
+      sol.status = SolveStatus::kIterationLimit;
+      return sol;
+    case PhaseResult::kUnbounded:
+      sol.status = SolveStatus::kUnbounded;
+      return sol;
+    case PhaseResult::kOptimal:
+      break;
+  }
+
+  // ---- Extract primal, objective, duals. ----
+  for (VarId v = 0; v < model.num_variables(); ++v) {
+    sol.x[v] = tb.shift[v] + tb.xval[v];
+    // Snap tiny noise onto the bounds for clean downstream consumption.
+    const Variable& var = model.variable(v);
+    if (std::abs(sol.x[v] - var.lower) < 1e-9) sol.x[v] = var.lower;
+    if (var.upper != kInfinity && std::abs(sol.x[v] - var.upper) < 1e-9) {
+      sol.x[v] = var.upper;
+    }
+  }
+  sol.objective = model.objective_value(sol.x);
+  for (RowId r = 0; r < model.num_constraints(); ++r) {
+    // Reduced cost of the row's slack/artificial certificate column gives
+    // the dual of the normalized row; undo normalization and sense flips.
+    const std::size_t col = tb.row_cert[r];
+    const double y_norm = -tb.d[col] / tb.row_cert_coef[r];
+    sol.duals[r] = sense_factor * tb.row_sign[r] * y_norm;
+  }
+  sol.status = SolveStatus::kOptimal;
+  return sol;
+}
+
+}  // namespace mecra::lp

@@ -1,0 +1,77 @@
+// Dense two-phase primal simplex with native variable bounds.
+//
+// Why hand-rolled: no LP solver is available in this environment, and both
+// the paper's randomized Algorithm 1 (LP relaxation + rounding) and the
+// exact ILP (branch-and-bound bounding) need one. The implementation is the
+// textbook full-tableau bounded-variable simplex:
+//
+//   * variables are internally shifted so every lower bound is 0;
+//   * each constraint row receives a slack (<=, >=) and, for >= and ==
+//     rows, a phase-1 artificial; artificials are clamped to [0, 0] in
+//     phase 2 so they can never re-enter with a nonzero value;
+//   * nonbasic variables rest at either bound; the ratio test includes the
+//     bound-flip step of the bounded-variable method;
+//   * Dantzig pricing with an automatic switch to Bland's rule after a run
+//     of degenerate pivots guarantees termination;
+//   * duals are recovered from the reduced costs of each row's slack or
+//     artificial column.
+//
+// Dense tableaus are the right call at this project's scale (hundreds of
+// rows x a few thousand columns); see DESIGN.md S3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+#include "util/matrix.h"
+
+namespace mecra::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+[[nodiscard]] std::string to_string(SolveStatus status);
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective in the model's original sense.
+  double objective = 0.0;
+  /// Values of the structural (model) variables.
+  std::vector<double> x;
+  /// Dual value per constraint row (sign convention: for a kMinimize model,
+  /// y_i >= 0 for binding >= rows, y_i <= 0 for binding <= rows).
+  std::vector<double> duals;
+  std::size_t iterations = 0;
+
+  [[nodiscard]] bool optimal() const noexcept {
+    return status == SolveStatus::kOptimal;
+  }
+};
+
+struct SimplexOptions {
+  /// Feasibility / pricing tolerance.
+  double tolerance = 1e-9;
+  /// Hard pivot cap as a multiple of (rows + cols); 0 means default.
+  std::size_t max_iterations = 0;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  std::size_t degenerate_switch = 40;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves the model; the model is not modified.
+  [[nodiscard]] Solution solve(const Model& model) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace mecra::lp

@@ -1,0 +1,151 @@
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace mecra::matching {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+MatchingResult min_cost_max_matching(std::size_t num_left,
+                                     std::size_t num_right,
+                                     const std::vector<BipartiteEdge>& edges) {
+  // Shift all costs to be non-negative. Adding a constant C to every edge
+  // adds C * cardinality to every matching of a given cardinality, so the
+  // set of min-cost MAXIMUM matchings is unchanged; Dijkstra with zero
+  // initial potentials then stays valid.
+  double min_cost = 0.0;
+  for (const auto& e : edges) {
+    MECRA_CHECK(e.left < num_left && e.right < num_right);
+    min_cost = std::min(min_cost, e.cost);
+  }
+  const double shift = -min_cost;
+
+  // Adjacency: per left node, indices into `edges`.
+  std::vector<std::vector<std::uint32_t>> adj(num_left);
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    adj[edges[i].left].push_back(i);
+  }
+
+  // Matching state is kept as edge indices so parallel edges and cost lookup
+  // are unambiguous.
+  std::vector<std::uint32_t> match_edge_l(num_left, kNone);
+  std::vector<std::uint32_t> match_edge_r(num_right, kNone);
+  std::vector<double> pot_l(num_left, 0.0);
+  std::vector<double> pot_r(num_right, 0.0);
+
+  std::vector<double> dist_l(num_left);
+  std::vector<double> dist_r(num_right);
+  std::vector<std::uint32_t> prev_edge_r(num_right);  // edge used to reach r
+
+  // Successive shortest augmenting paths: each round runs one multi-source
+  // Dijkstra from every free left node over reduced costs, augments along
+  // the cheapest path to a free right node, then re-tightens potentials.
+  for (;;) {
+    std::fill(dist_l.begin(), dist_l.end(), kInf);
+    std::fill(dist_r.begin(), dist_r.end(), kInf);
+    std::fill(prev_edge_r.begin(), prev_edge_r.end(), kNone);
+
+    // Heap items: (distance, encoded node); lefts are [0, num_left),
+    // rights are num_left + r.
+    using Item = std::pair<double, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    for (std::uint32_t l = 0; l < num_left; ++l) {
+      if (match_edge_l[l] == kNone) {
+        dist_l[l] = 0.0;
+        heap.emplace(0.0, l);
+      }
+    }
+
+    double best_free_dist = kInf;
+    std::uint32_t best_free_right = kNone;
+    while (!heap.empty()) {
+      auto [d, node] = heap.top();
+      heap.pop();
+      if (d >= best_free_dist) break;  // cheapest augmenting path found
+      if (node < num_left) {
+        const std::uint32_t l = node;
+        if (d > dist_l[l]) continue;
+        for (std::uint32_t ei : adj[l]) {
+          if (ei == match_edge_l[l]) continue;  // matched arcs go r -> l
+          const auto& e = edges[ei];
+          const double reduced =
+              (e.cost + shift) + pot_l[l] - pot_r[e.right];
+          MECRA_DCHECK(reduced > -1e-7);
+          const double nd = d + std::max(reduced, 0.0);
+          if (nd < dist_r[e.right]) {
+            dist_r[e.right] = nd;
+            prev_edge_r[e.right] = ei;
+            heap.emplace(nd, static_cast<std::uint32_t>(num_left + e.right));
+          }
+        }
+      } else {
+        const std::uint32_t r = node - static_cast<std::uint32_t>(num_left);
+        if (d > dist_r[r]) continue;
+        if (match_edge_r[r] == kNone) {
+          if (d < best_free_dist) {
+            best_free_dist = d;
+            best_free_right = r;
+          }
+          continue;
+        }
+        // Traverse the matched arc r -> left with cost -(c + shift).
+        const auto& me = edges[match_edge_r[r]];
+        const std::uint32_t l2 = me.left;
+        const double reduced = -(me.cost + shift) + pot_r[r] - pot_l[l2];
+        MECRA_DCHECK(reduced > -1e-7);
+        const double nd = d + std::max(reduced, 0.0);
+        if (nd < dist_l[l2]) {
+          dist_l[l2] = nd;
+          heap.emplace(nd, l2);
+        }
+      }
+    }
+
+    if (best_free_right == kNone) break;  // no augmenting path remains
+    const double cap = best_free_dist;
+
+    // Potential update keeps all reduced costs non-negative.
+    for (std::uint32_t l = 0; l < num_left; ++l) {
+      pot_l[l] += std::min(dist_l[l], cap);
+    }
+    for (std::uint32_t r = 0; r < num_right; ++r) {
+      pot_r[r] += std::min(dist_r[r], cap);
+    }
+
+    // Augment: flip matched/unmatched status along the path.
+    std::uint32_t r = best_free_right;
+    for (;;) {
+      const std::uint32_t ei = prev_edge_r[r];
+      MECRA_CHECK(ei != kNone);
+      const std::uint32_t l = edges[ei].left;
+      const std::uint32_t displaced = match_edge_l[l];
+      match_edge_l[l] = ei;
+      match_edge_r[r] = ei;
+      if (displaced == kNone) break;
+      r = edges[displaced].right;
+    }
+  }
+
+  MatchingResult result;
+  result.match_left.assign(num_left, std::nullopt);
+  result.match_right.assign(num_right, std::nullopt);
+  for (std::uint32_t l = 0; l < num_left; ++l) {
+    const std::uint32_t ei = match_edge_l[l];
+    if (ei == kNone) continue;
+    const auto& e = edges[ei];
+    result.match_left[l] = e.right;
+    result.match_right[e.right] = l;
+    result.total_cost += e.cost;
+    ++result.cardinality;
+  }
+  return result;
+}
+
+}  // namespace mecra::matching

@@ -1,0 +1,44 @@
+// Minimum-cost maximum bipartite matching.
+//
+// Algorithm 2 of the paper repeatedly finds a min-cost maximum matching in
+// an auxiliary bipartite graph (cloudlets x candidate secondary instances).
+// We implement the Hungarian method in its successive-shortest-augmenting-
+// path form with node potentials (Jonker–Volgenant flavour): each
+// augmentation runs one Dijkstra over reduced costs, so the total cost is
+// O(min(nL,nR) * E log E) and forbidden pairs are simply absent edges.
+//
+// "Maximum" is cardinality-maximum: the matching has as many edges as any
+// matching in the graph, and among those it has minimum total cost (the
+// classic result that augmenting along shortest paths preserves extreme
+// optimality holds for every intermediate cardinality).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mecra::matching {
+
+struct BipartiteEdge {
+  std::uint32_t left;
+  std::uint32_t right;
+  double cost;
+};
+
+struct MatchingResult {
+  /// match_left[l] = matched right node, or nullopt.
+  std::vector<std::optional<std::uint32_t>> match_left;
+  /// match_right[r] = matched left node, or nullopt.
+  std::vector<std::optional<std::uint32_t>> match_right;
+  std::size_t cardinality = 0;
+  double total_cost = 0.0;
+};
+
+/// Computes a min-cost maximum matching of the bipartite graph with
+/// `num_left` and `num_right` nodes and the given (non-duplicated) edges.
+/// Edge costs may be any finite values (negative allowed).
+[[nodiscard]] MatchingResult min_cost_max_matching(
+    std::size_t num_left, std::size_t num_right,
+    const std::vector<BipartiteEdge>& edges);
+
+}  // namespace mecra::matching

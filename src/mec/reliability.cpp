@@ -1,0 +1,71 @@
+#include "mec/reliability.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mecra::mec {
+
+namespace {
+constexpr double kOneEps = 1e-12;  // treat r >= 1 - kOneEps as perfectly
+                                   // reliable: backups carry no value
+}  // namespace
+
+double function_reliability(double r, std::uint32_t instances) {
+  MECRA_CHECK(r > 0.0 && r <= 1.0);
+  if (instances == 0) return 0.0;
+  return 1.0 - std::pow(1.0 - r, static_cast<double>(instances));
+}
+
+double reliability_with_secondaries(double r, std::uint32_t k) {
+  return function_reliability(r, k + 1);
+}
+
+double item_cost(double r, std::uint32_t k) {
+  MECRA_CHECK(r > 0.0 && r <= 1.0);
+  if (k == 0) return -std::log(r);
+  if (1.0 - r < kOneEps) return std::numeric_limits<double>::infinity();
+  // -log(r (1-r)^k), evaluated in log space for numerical robustness.
+  return -std::log(r) - static_cast<double>(k) * std::log(1.0 - r);
+}
+
+double marginal_gain(double r, std::uint32_t k) {
+  MECRA_CHECK(r > 0.0 && r <= 1.0);
+  MECRA_CHECK_MSG(k >= 1, "the primary (k = 0) carries no marginal gain");
+  if (1.0 - r < kOneEps) return 0.0;
+  const double rk = reliability_with_secondaries(r, k);
+  const double rk1 = reliability_with_secondaries(r, k - 1);
+  return std::log(rk) - std::log(rk1);
+}
+
+double chain_reliability(std::span<const double> function_rel) {
+  double u = 1.0;
+  for (double ri : function_rel) {
+    MECRA_CHECK(ri >= 0.0 && ri <= 1.0);
+    u *= ri;
+  }
+  return u;
+}
+
+double chain_reliability(std::span<const double> per_instance_r,
+                         std::span<const std::uint32_t> instances) {
+  MECRA_CHECK(per_instance_r.size() == instances.size());
+  double u = 1.0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    u *= function_reliability(per_instance_r[i], instances[i]);
+  }
+  return u;
+}
+
+std::uint32_t useful_secondary_cap(double r, double min_gain,
+                                   std::uint32_t hard_cap) {
+  MECRA_CHECK(r > 0.0 && r <= 1.0);
+  if (1.0 - r < kOneEps) return 0;
+  for (std::uint32_t k = 1; k <= hard_cap; ++k) {
+    if (marginal_gain(r, k) < min_gain) return k - 1;
+  }
+  return hard_cap;
+}
+
+}  // namespace mecra::mec

@@ -1,0 +1,54 @@
+// Reliability algebra of Section 3.1 and the cost/gain quantities of
+// Section 4 (Eqs. 1-4), all in natural logarithms.
+//
+// With n parallel instances of a function whose per-instance reliability is
+// r, the function survives unless all instances fail:
+//     R(r, n) = 1 - (1 - r)^n.                                   (Eq. 1)
+// The paper indexes by the number of SECONDARIES k (so k = n - 1):
+//     R_k(r, k) = 1 - (1 - r)^{k+1}.
+// Item cost (Eq. 3):  c(f, k) = -log(R_k(r,k) - R_k(r,k-1)) = -log(r(1-r)^k),
+// increasing in k (Lemma 4.1). Marginal gain of the k-th secondary:
+//     gain(r, k) = log R_k(r,k) - log R_k(r,k-1)  > 0, decreasing in k —
+// the exact decrease of -log R when the k-th secondary is added, which is
+// what the reliability-maximizing objective sums (see DESIGN.md Sec. 4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mecra::mec {
+
+/// Eq. (1): reliability of a function with `instances` parallel instances.
+[[nodiscard]] double function_reliability(double r, std::uint32_t instances);
+
+/// R(f, k) in the paper's secondary-count indexing: k secondaries + 1
+/// primary.
+[[nodiscard]] double reliability_with_secondaries(double r, std::uint32_t k);
+
+/// Eq. (3): item cost of the k-th secondary (k >= 1), or of the primary
+/// (k == 0). Equals -log(r (1-r)^k); +infinity when r == 1 and k >= 1.
+[[nodiscard]] double item_cost(double r, std::uint32_t k);
+
+/// Marginal decrease of -log R contributed by the k-th secondary (k >= 1):
+/// log(R(k) / R(k-1)). Strictly positive and strictly decreasing in k for
+/// r in (0, 1); zero when r == 1.
+[[nodiscard]] double marginal_gain(double r, std::uint32_t k);
+
+/// Product reliability u_j = prod_i R_i of a chain given each function's
+/// achieved reliability.
+[[nodiscard]] double chain_reliability(std::span<const double> function_rel);
+
+/// Chain reliability from per-instance reliabilities and per-function
+/// instance counts (counts include the primary).
+[[nodiscard]] double chain_reliability(std::span<const double> per_instance_r,
+                                       std::span<const std::uint32_t> instances);
+
+/// Smallest k such that marginal_gain(r, k') < min_gain for all k' > k;
+/// used to truncate the item universe where additional secondaries carry no
+/// measurable value. Returns 0 when r >= 1 - epsilon.
+[[nodiscard]] std::uint32_t useful_secondary_cap(double r,
+                                                 double min_gain = 1e-12,
+                                                 std::uint32_t hard_cap = 64);
+
+}  // namespace mecra::mec

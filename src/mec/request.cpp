@@ -1,0 +1,37 @@
+#include "mec/request.h"
+
+namespace mecra::mec {
+
+SfcRequest random_request(RequestId id, const VnfCatalog& catalog,
+                          std::size_t num_nodes, const RequestParams& params,
+                          util::Rng& rng) {
+  MECRA_CHECK(catalog.size() > 0);
+  MECRA_CHECK(num_nodes > 0);
+  MECRA_CHECK(params.chain_length_low >= 1 &&
+              params.chain_length_low <= params.chain_length_high);
+  MECRA_CHECK(params.expectation > 0.0 && params.expectation <= 1.0);
+
+  SfcRequest req;
+  req.id = id;
+  req.expectation = params.expectation;
+  const std::size_t length =
+      params.chain_length_low == params.chain_length_high
+          ? params.chain_length_low
+          : static_cast<std::size_t>(
+                rng.uniform_int(static_cast<std::int64_t>(params.chain_length_low),
+                                static_cast<std::int64_t>(params.chain_length_high)));
+  if (params.distinct_functions && catalog.size() >= length) {
+    for (std::size_t idx : rng.sample_without_replacement(catalog.size(), length)) {
+      req.chain.push_back(static_cast<FunctionId>(idx));
+    }
+  } else {
+    for (std::size_t i = 0; i < length; ++i) {
+      req.chain.push_back(static_cast<FunctionId>(rng.index(catalog.size())));
+    }
+  }
+  req.source = static_cast<graph::NodeId>(rng.index(num_nodes));
+  req.destination = static_cast<graph::NodeId>(rng.index(num_nodes));
+  return req;
+}
+
+}  // namespace mecra::mec

@@ -1,0 +1,53 @@
+#include "mec/vnf.h"
+
+#include <algorithm>
+
+namespace mecra::mec {
+
+VnfCatalog::VnfCatalog(std::vector<NetworkFunction> functions)
+    : functions_(std::move(functions)) {
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    functions_[i].id = static_cast<FunctionId>(i);
+    MECRA_CHECK_MSG(functions_[i].reliability > 0.0 &&
+                        functions_[i].reliability <= 1.0,
+                    "function reliability must be in (0, 1]");
+    MECRA_CHECK_MSG(functions_[i].cpu_demand > 0.0,
+                    "function demand must be positive");
+  }
+}
+
+double VnfCatalog::min_demand() const {
+  MECRA_CHECK(!functions_.empty());
+  return std::min_element(functions_.begin(), functions_.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.cpu_demand < b.cpu_demand;
+                          })
+      ->cpu_demand;
+}
+
+VnfCatalog VnfCatalog::random(const RandomParams& params, util::Rng& rng) {
+  MECRA_CHECK(params.num_functions > 0);
+  MECRA_CHECK(params.reliability_low > 0.0 &&
+              params.reliability_low <= params.reliability_high &&
+              params.reliability_high <= 1.0);
+  MECRA_CHECK(params.demand_low > 0.0 &&
+              params.demand_low <= params.demand_high);
+  std::vector<NetworkFunction> fns;
+  fns.reserve(params.num_functions);
+  for (std::size_t i = 0; i < params.num_functions; ++i) {
+    NetworkFunction f;
+    f.name = "f";
+    f.name += std::to_string(i);
+    f.reliability =
+        params.reliability_low == params.reliability_high
+            ? params.reliability_low
+            : rng.uniform(params.reliability_low, params.reliability_high);
+    f.cpu_demand = params.demand_low == params.demand_high
+                       ? params.demand_low
+                       : rng.uniform(params.demand_low, params.demand_high);
+    fns.push_back(std::move(f));
+  }
+  return VnfCatalog(std::move(fns));
+}
+
+}  // namespace mecra::mec

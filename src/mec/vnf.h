@@ -1,0 +1,64 @@
+// Virtual network functions and the catalog of available function types.
+//
+// Section 3 of the paper: the network offers |F| function types; each type
+// f_i needs c(f_i) computing resource (MHz) per VNF instance and each
+// instance has reliability r_i in (0, 1], identical across cloudlets (the
+// assumption the paper adopts from prior work).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mecra::mec {
+
+using FunctionId = std::uint32_t;
+
+struct NetworkFunction {
+  FunctionId id = 0;
+  std::string name;
+  /// Reliability of one VNF instance of this function, in (0, 1].
+  double reliability = 0.9;
+  /// Computing demand per instance (MHz in the paper's units).
+  double cpu_demand = 300.0;
+};
+
+/// Immutable set of function types (the paper's F, |F| = 30 by default).
+class VnfCatalog {
+ public:
+  VnfCatalog() = default;
+  explicit VnfCatalog(std::vector<NetworkFunction> functions);
+
+  [[nodiscard]] std::size_t size() const noexcept { return functions_.size(); }
+  [[nodiscard]] const NetworkFunction& function(FunctionId f) const {
+    MECRA_CHECK(f < functions_.size());
+    return functions_[f];
+  }
+  [[nodiscard]] const std::vector<NetworkFunction>& functions() const noexcept {
+    return functions_;
+  }
+
+  /// Smallest per-instance CPU demand in the catalog (paper's c_min).
+  [[nodiscard]] double min_demand() const;
+
+  struct RandomParams {
+    std::size_t num_functions = 30;
+    double reliability_low = 0.8;
+    double reliability_high = 0.9;
+    double demand_low = 200.0;
+    double demand_high = 400.0;
+  };
+
+  /// Catalog with reliabilities and demands drawn uniformly from the given
+  /// ranges (the paper's Section 7.1 settings by default).
+  [[nodiscard]] static VnfCatalog random(const RandomParams& params,
+                                         util::Rng& rng);
+
+ private:
+  std::vector<NetworkFunction> functions_;
+};
+
+}  // namespace mecra::mec

@@ -1,0 +1,299 @@
+#include "orchestrator/orchestrator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "admission/admission.h"
+#include "core/bmcgap.h"
+#include "core/heuristic_matching.h"
+#include "core/validator.h"
+#include "graph/algorithms.h"
+
+namespace mecra::orchestrator {
+
+std::size_t Service::running_at(std::uint32_t chain_pos) const {
+  std::size_t count = 0;
+  for (const Instance& inst : instances) {
+    if (inst.chain_pos == chain_pos && inst.state == InstanceState::kRunning) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double Service::current_reliability(const mec::VnfCatalog& catalog) const {
+  double u = 1.0;
+  for (std::uint32_t p = 0; p < request.length(); ++p) {
+    const double r = catalog.function(request.chain[p]).reliability;
+    u *= mec::function_reliability(
+        r, static_cast<std::uint32_t>(running_at(p)));
+  }
+  return u;
+}
+
+Orchestrator::Orchestrator(mec::MecNetwork network, mec::VnfCatalog catalog,
+                           OrchestratorOptions options)
+    : network_(std::move(network)),
+      catalog_(std::move(catalog)),
+      options_(std::move(options)) {
+  MECRA_CHECK(options_.l_hops >= 1);
+}
+
+const Service& Orchestrator::service(ServiceId id) const {
+  auto it = services_.find(id);
+  MECRA_CHECK_MSG(it != services_.end(), "unknown service id");
+  return it->second;
+}
+
+Service& Orchestrator::service_mut(ServiceId id) {
+  auto it = services_.find(id);
+  MECRA_CHECK_MSG(it != services_.end(), "unknown service id");
+  return it->second;
+}
+
+std::vector<ServiceId> Orchestrator::services() const {
+  std::vector<ServiceId> ids;
+  ids.reserve(services_.size());
+  for (const auto& [id, svc] : services_) ids.push_back(id);
+  return ids;
+}
+
+std::optional<ServiceId> Orchestrator::admit(const mec::SfcRequest& request,
+                                             util::Rng& rng) {
+  auto primaries =
+      admission::random_admission(network_, catalog_, request, rng);
+  if (!primaries.has_value()) return std::nullopt;
+
+  Service svc;
+  svc.id = next_service_++;
+  svc.request = request;
+  for (std::uint32_t p = 0; p < request.length(); ++p) {
+    svc.instances.push_back(Instance{next_instance_++, p,
+                                     primaries->cloudlet_of[p],
+                                     InstanceRole::kActive,
+                                     InstanceState::kRunning});
+  }
+
+  const auto instance = core::build_bmcgap(network_, catalog_, request,
+                                           *primaries,
+                                           {.l_hops = options_.l_hops});
+  auto algorithm =
+      options_.algorithm ? options_.algorithm : core::augment_heuristic;
+  const auto result = algorithm(instance, options_.augment);
+  MECRA_CHECK_MSG(core::validate(instance, result).feasible,
+                  "orchestrator requires capacity-feasible augmentation");
+  core::apply_placements(network_, instance, result);
+  for (const auto& placement : result.placements) {
+    svc.instances.push_back(Instance{next_instance_++, placement.chain_pos,
+                                     placement.cloudlet,
+                                     InstanceRole::kStandby,
+                                     InstanceState::kRunning});
+  }
+  svc.state = ServiceState::kHealthy;
+  const ServiceId id = svc.id;
+  services_.emplace(id, std::move(svc));
+  return id;
+}
+
+void Orchestrator::promote_for_position(Service& svc,
+                                        std::uint32_t chain_pos,
+                                        graph::NodeId failed_at) {
+  // Does the position still have an active instance?
+  for (const Instance& inst : svc.instances) {
+    if (inst.chain_pos == chain_pos && inst.state == InstanceState::kRunning &&
+        inst.role == InstanceRole::kActive) {
+      return;
+    }
+  }
+  // Promote the running standby closest (in hops) to the failed primary —
+  // minimizing the state-transfer distance the paper's l bound caps.
+  const auto hops = graph::bfs_hops(network_.topology(), failed_at);
+  Instance* best = nullptr;
+  std::uint32_t best_hops = std::numeric_limits<std::uint32_t>::max();
+  for (Instance& inst : svc.instances) {
+    if (inst.chain_pos != chain_pos ||
+        inst.state != InstanceState::kRunning ||
+        inst.role != InstanceRole::kStandby) {
+      continue;
+    }
+    const std::uint32_t h = hops[inst.cloudlet];
+    if (h < best_hops ||
+        (h == best_hops && best != nullptr && inst.id < best->id)) {
+      best = &inst;
+      best_hops = h;
+    }
+  }
+  if (best != nullptr) best->role = InstanceRole::kActive;
+}
+
+std::optional<InstanceId> Orchestrator::fail_instance(ServiceId service_id,
+                                                      InstanceId inst_id) {
+  Service& svc = service_mut(service_id);
+  Instance* target = nullptr;
+  for (Instance& inst : svc.instances) {
+    if (inst.id == inst_id) target = &inst;
+  }
+  MECRA_CHECK_MSG(target != nullptr, "unknown instance id");
+  MECRA_CHECK_MSG(target->state == InstanceState::kRunning,
+                  "instance already failed");
+  target->state = InstanceState::kFailed;
+  const bool was_active = target->role == InstanceRole::kActive;
+  const std::uint32_t pos = target->chain_pos;
+  const graph::NodeId at = target->cloudlet;
+
+  std::optional<InstanceId> promoted;
+  if (was_active) {
+    promote_for_position(svc, pos, at);
+    for (const Instance& inst : svc.instances) {
+      if (inst.chain_pos == pos && inst.state == InstanceState::kRunning &&
+          inst.role == InstanceRole::kActive) {
+        promoted = inst.id;
+      }
+    }
+  }
+  (void)refresh_state(service_id);
+  return promoted;
+}
+
+void Orchestrator::fail_cloudlet(graph::NodeId v) {
+  MECRA_CHECK(v < network_.num_nodes());
+  for (auto& [id, svc] : services_) {
+    std::vector<std::pair<std::uint32_t, graph::NodeId>> lost_active;
+    for (Instance& inst : svc.instances) {
+      if (inst.cloudlet == v && inst.state == InstanceState::kRunning) {
+        inst.state = InstanceState::kFailed;
+        if (inst.role == InstanceRole::kActive) {
+          lost_active.emplace_back(inst.chain_pos, inst.cloudlet);
+        }
+      }
+    }
+    for (const auto& [pos, at] : lost_active) {
+      promote_for_position(svc, pos, at);
+    }
+    (void)refresh_state(id);
+  }
+}
+
+void Orchestrator::repair_cloudlet(graph::NodeId v) {
+  MECRA_CHECK(v < network_.num_nodes());
+  for (auto& [id, svc] : services_) {
+    std::erase_if(svc.instances, [&](const Instance& inst) {
+      if (inst.cloudlet == v && inst.state == InstanceState::kFailed) {
+        network_.release(v,
+                         catalog_.function(svc.request.chain[inst.chain_pos])
+                             .cpu_demand);
+        return true;
+      }
+      return false;
+    });
+    (void)refresh_state(id);
+  }
+}
+
+std::size_t Orchestrator::reaugment(ServiceId service_id) {
+  Service& svc = service_mut(service_id);
+  if (svc.state == ServiceState::kDown) return 0;  // needs repair first
+
+  // Exact greedy top-up: existing running instances (actives AND surviving
+  // standbys) define each position's current redundancy; we repeatedly add
+  // the feasible standby with the largest marginal ln-reliability gain
+  // until the expectation holds again. Candidates obey the paper's
+  // locality rule relative to the CURRENT active instance.
+  const std::size_t len = svc.request.length();
+  std::vector<std::uint32_t> running(len, 0);
+  std::vector<graph::NodeId> active_at(len, 0);
+  for (const Instance& inst : svc.instances) {
+    if (inst.state != InstanceState::kRunning) continue;
+    ++running[inst.chain_pos];
+    if (inst.role == InstanceRole::kActive) {
+      active_at[inst.chain_pos] = inst.cloudlet;
+    }
+  }
+
+  std::vector<std::vector<graph::NodeId>> allowed(len);
+  for (std::uint32_t p = 0; p < len; ++p) {
+    allowed[p] = network_.cloudlets_within(active_at[p], options_.l_hops);
+  }
+
+  auto ln_reliability = [&] {
+    double ln_u = 0.0;
+    for (std::uint32_t p = 0; p < len; ++p) {
+      const double r = catalog_.function(svc.request.chain[p]).reliability;
+      ln_u += std::log(
+          std::max(1e-300, mec::function_reliability(r, running[p])));
+    }
+    return ln_u;
+  };
+
+  std::size_t added = 0;
+  const double ln_target = std::log(svc.request.expectation);
+  while (ln_reliability() < ln_target) {
+    double best_gain = 0.0;
+    std::uint32_t best_p = static_cast<std::uint32_t>(len);
+    graph::NodeId best_u = 0;
+    for (std::uint32_t p = 0; p < len; ++p) {
+      const auto& fn = catalog_.function(svc.request.chain[p]);
+      if (fn.reliability >= 1.0) continue;
+      const double gain =
+          std::log(mec::function_reliability(fn.reliability, running[p] + 1)) -
+          std::log(mec::function_reliability(fn.reliability, running[p]));
+      if (gain <= best_gain) continue;
+      for (graph::NodeId u : allowed[p]) {
+        if (network_.residual(u) >= fn.cpu_demand) {
+          best_gain = gain;
+          best_p = p;
+          best_u = u;
+          break;  // any feasible cloudlet realizes the same gain
+        }
+      }
+    }
+    if (best_p == len) break;  // nothing feasible helps
+
+    const auto& fn = catalog_.function(svc.request.chain[best_p]);
+    network_.consume(best_u, fn.cpu_demand);
+    ++running[best_p];
+    ++added;
+    svc.instances.push_back(Instance{next_instance_++, best_p, best_u,
+                                     InstanceRole::kStandby,
+                                     InstanceState::kRunning});
+  }
+  (void)refresh_state(service_id);
+  return added;
+}
+
+void Orchestrator::teardown(ServiceId service_id) {
+  Service& svc = service_mut(service_id);
+  for (const Instance& inst : svc.instances) {
+    network_.release(inst.cloudlet,
+                     catalog_.function(svc.request.chain[inst.chain_pos])
+                         .cpu_demand);
+  }
+  services_.erase(service_id);
+}
+
+ServiceState Orchestrator::refresh_state(ServiceId service_id) {
+  Service& svc = service_mut(service_id);
+  bool degraded = false;
+  for (std::uint32_t p = 0; p < svc.request.length(); ++p) {
+    bool active_running = false;
+    bool any_failed = false;
+    for (const Instance& inst : svc.instances) {
+      if (inst.chain_pos != p) continue;
+      if (inst.state == InstanceState::kRunning &&
+          inst.role == InstanceRole::kActive) {
+        active_running = true;
+      }
+      if (inst.state == InstanceState::kFailed) any_failed = true;
+    }
+    if (!active_running) {
+      svc.state = ServiceState::kDown;
+      return svc.state;
+    }
+    degraded = degraded || any_failed;
+  }
+  svc.state = degraded ? ServiceState::kDegraded : ServiceState::kHealthy;
+  return svc.state;
+}
+
+}  // namespace mecra::orchestrator

@@ -1,0 +1,138 @@
+// Service lifecycle orchestrator.
+//
+// The paper's backup placement exists for a runtime story it never
+// simulates: primaries are ACTIVE, secondaries are IDLE, and "the primary
+// VNF instance communicates with its secondary VNF instances at pre-defined
+// checking points" so that when a primary fails, a secondary takes over.
+// This module implements that runtime: it owns the live network state and a
+// set of running services, and processes events —
+//
+//   * admit(request)            admission + reliability augmentation;
+//   * fail_instance(...)        an instance dies; if it was the active one
+//                               a secondary is promoted (nearest-first, the
+//                               l-hop locality the paper motivates);
+//   * fail_cloudlet(v)          correlated outage: every instance at v dies;
+//   * repair_cloudlet(v)        capacity returns (dead instances do not);
+//   * reaugment(service)        top the backup level back up to the
+//                               expectation after failures consumed it;
+//   * teardown(service)         release everything.
+//
+// Failed instances keep their capacity reserved until repaired or torn
+// down (a failed VM still occupies its slot until cleaned up); repairing a
+// cloudlet reclaims the slots of its dead instances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/augmentation.h"
+#include "mec/network.h"
+#include "mec/request.h"
+#include "mec/vnf.h"
+#include "util/rng.h"
+
+namespace mecra::orchestrator {
+
+using ServiceId = std::uint64_t;
+using InstanceId = std::uint64_t;
+
+enum class InstanceRole : std::uint8_t { kActive, kStandby };
+enum class InstanceState : std::uint8_t { kRunning, kFailed };
+
+struct Instance {
+  InstanceId id = 0;
+  std::uint32_t chain_pos = 0;
+  graph::NodeId cloudlet = 0;
+  InstanceRole role = InstanceRole::kStandby;
+  InstanceState state = InstanceState::kRunning;
+};
+
+enum class ServiceState : std::uint8_t {
+  kHealthy,   // every position has a running active instance
+  kDegraded,  // running, but some position lost redundancy below plan
+  kDown,      // some position has no running instance at all
+};
+
+struct Service {
+  ServiceId id = 0;
+  mec::SfcRequest request;
+  std::vector<Instance> instances;
+  ServiceState state = ServiceState::kDown;
+
+  /// Running instances (any role) serving `chain_pos`.
+  [[nodiscard]] std::size_t running_at(std::uint32_t chain_pos) const;
+  /// Current Eq. (1) reliability given only the RUNNING instances.
+  [[nodiscard]] double current_reliability(const mec::VnfCatalog& catalog) const;
+};
+
+struct OrchestratorOptions {
+  std::uint32_t l_hops = 1;
+  core::AugmentOptions augment;
+  /// Algorithm used for (re-)augmentation; empty = matching heuristic.
+  std::function<core::AugmentationResult(const core::BmcgapInstance&,
+                                         const core::AugmentOptions&)>
+      algorithm;
+};
+
+class Orchestrator {
+ public:
+  Orchestrator(mec::MecNetwork network, mec::VnfCatalog catalog,
+               OrchestratorOptions options = {});
+
+  [[nodiscard]] const mec::MecNetwork& network() const noexcept {
+    return network_;
+  }
+  [[nodiscard]] const mec::VnfCatalog& catalog() const noexcept {
+    return catalog_;
+  }
+
+  /// Admits and augments a request; primaries become active instances,
+  /// placed backups standby. Returns nullopt when admission fails.
+  std::optional<ServiceId> admit(const mec::SfcRequest& request,
+                                 util::Rng& rng);
+
+  [[nodiscard]] const Service& service(ServiceId id) const;
+  [[nodiscard]] std::vector<ServiceId> services() const;
+
+  /// Kills one instance. If it was active and a standby for the same
+  /// position is running, the standby closest (in hops) to the failed
+  /// instance's cloudlet is promoted; returns the promoted instance id.
+  std::optional<InstanceId> fail_instance(ServiceId service, InstanceId inst);
+
+  /// Kills every running instance hosted at `v` (across all services) and
+  /// performs the same promotion logic per affected position. Capacity at
+  /// v stays reserved until repair_cloudlet.
+  void fail_cloudlet(graph::NodeId v);
+
+  /// Reclaims the capacity held by FAILED instances at v (they are removed
+  /// from their services). Running instances are untouched.
+  void repair_cloudlet(graph::NodeId v);
+
+  /// Places fresh standby instances until the service's CURRENT reliability
+  /// reaches its expectation again (or capacity runs out). Returns the
+  /// number of standbys added.
+  std::size_t reaugment(ServiceId service);
+
+  /// Releases every slot (running or failed) of the service.
+  void teardown(ServiceId service);
+
+  /// Recomputes and returns the service state (also stored on the service).
+  ServiceState refresh_state(ServiceId service);
+
+ private:
+  Service& service_mut(ServiceId id);
+  void promote_for_position(Service& svc, std::uint32_t chain_pos,
+                            graph::NodeId failed_at);
+
+  mec::MecNetwork network_;
+  mec::VnfCatalog catalog_;
+  OrchestratorOptions options_;
+  std::map<ServiceId, Service> services_;
+  ServiceId next_service_ = 0;
+  InstanceId next_instance_ = 0;
+};
+
+}  // namespace mecra::orchestrator

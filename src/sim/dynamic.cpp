@@ -1,0 +1,152 @@
+#include "sim/dynamic.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/heuristic_matching.h"
+#include "core/validator.h"
+
+namespace mecra::sim {
+
+namespace {
+
+struct Departure {
+  double time;
+  std::size_t holding_id;
+
+  bool operator>(const Departure& other) const { return time > other.time; }
+};
+
+/// Everything a live request holds: (cloudlet, demand) pairs for primaries
+/// and secondaries alike.
+using Holding = std::vector<std::pair<graph::NodeId, double>>;
+
+}  // namespace
+
+DynamicMetrics run_dynamic(const mec::MecNetwork& base_network,
+                           const mec::VnfCatalog& catalog,
+                           const DynamicConfig& config, std::uint64_t seed) {
+  MECRA_CHECK(config.arrival_rate > 0.0);
+  MECRA_CHECK(config.mean_holding_time > 0.0);
+  MECRA_CHECK(config.horizon > 0.0);
+
+  auto algorithm = config.algorithm
+                       ? config.algorithm
+                       : core::augment_heuristic;
+
+  mec::MecNetwork network = base_network;
+  util::Rng rng(seed);
+  DynamicMetrics metrics;
+
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+  std::vector<Holding> holdings;
+
+  const double total_capacity = network.total_capacity();
+  MECRA_CHECK(total_capacity > 0.0);
+  double now = 0.0;
+  double last_event_time = 0.0;
+  double util_integral = 0.0;
+  double reliability_sum = 0.0;
+
+  auto utilization = [&] {
+    return 1.0 - network.total_residual() / total_capacity;
+  };
+  auto advance_to = [&](double t) {
+    util_integral += utilization() * (t - last_event_time);
+    metrics.peak_utilization = std::max(metrics.peak_utilization,
+                                        utilization());
+    last_event_time = t;
+  };
+  auto release_holding = [&](std::size_t id) {
+    for (const auto& [v, amount] : holdings[id]) network.release(v, amount);
+    holdings[id].clear();
+    ++metrics.departed;
+  };
+
+  double next_arrival = rng.exponential(1.0 / config.arrival_rate);
+  std::uint64_t request_id = 0;
+
+  while (next_arrival < config.horizon || !departures.empty()) {
+    // Pop whichever event comes first; stop feeding arrivals past horizon.
+    const bool take_departure =
+        !departures.empty() && (departures.top().time <= next_arrival ||
+                                next_arrival >= config.horizon);
+    if (take_departure) {
+      const Departure dep = departures.top();
+      departures.pop();
+      if (dep.time > config.horizon) {
+        // Horizon reached: integrate to the horizon and drain the rest.
+        advance_to(config.horizon);
+        release_holding(dep.holding_id);
+        while (!departures.empty()) {
+          release_holding(departures.top().holding_id);
+          departures.pop();
+        }
+        break;
+      }
+      now = dep.time;
+      advance_to(now);
+      release_holding(dep.holding_id);
+      continue;
+    }
+    if (next_arrival >= config.horizon) break;
+
+    now = next_arrival;
+    advance_to(now);
+    next_arrival = now + rng.exponential(1.0 / config.arrival_rate);
+    ++metrics.arrivals;
+
+    // --- admit ---
+    mec::RequestParams rp = config.request;
+    rp.expectation = config.expectation;
+    const auto request =
+        mec::random_request(request_id++, catalog, network.num_nodes(), rp,
+                            rng);
+    auto primaries =
+        admission::random_admission(network, catalog, request, rng);
+    if (!primaries.has_value()) {
+      ++metrics.blocked;
+      continue;
+    }
+    ++metrics.admitted;
+
+    Holding holding;
+    for (std::size_t i = 0; i < request.length(); ++i) {
+      holding.emplace_back(primaries->cloudlet_of[i],
+                           catalog.function(request.chain[i]).cpu_demand);
+    }
+
+    // --- augment ---
+    const auto instance =
+        core::build_bmcgap(network, catalog, request, *primaries,
+                           config.bmcgap);
+    core::AugmentOptions opt = config.augment;
+    opt.seed = util::derive_seed(seed, request.id);
+    const auto result = algorithm(instance, opt);
+    MECRA_CHECK_MSG(core::validate(instance, result).feasible,
+                    "dynamic simulator requires capacity-feasible plans");
+    core::apply_placements(network, instance, result);
+    for (const auto& p : result.placements) {
+      holding.emplace_back(p.cloudlet,
+                           instance.functions[p.chain_pos].demand);
+    }
+    if (result.expectation_met) ++metrics.met_expectation;
+    reliability_sum += result.achieved_reliability;
+
+    holdings.push_back(std::move(holding));
+    departures.push(Departure{now + rng.exponential(config.mean_holding_time),
+                              holdings.size() - 1});
+  }
+
+  if (last_event_time < config.horizon) advance_to(config.horizon);
+  metrics.time_avg_utilization = util_integral / config.horizon;
+  metrics.mean_achieved_reliability =
+      metrics.admitted == 0
+          ? 0.0
+          : reliability_sum / static_cast<double>(metrics.admitted);
+  metrics.final_total_residual = network.total_residual();
+  return metrics;
+}
+
+}  // namespace mecra::sim

@@ -1,0 +1,83 @@
+#include "sim/report.h"
+
+#include "util/check.h"
+
+namespace mecra::sim {
+
+util::Table reliability_table(const std::string& x_name,
+                              const std::vector<SweepPoint>& sweep) {
+  MECRA_CHECK(!sweep.empty());
+  std::vector<std::string> header{x_name};
+  for (const auto& name : sweep.front().run.algorithm_order) {
+    header.push_back(name);
+    header.push_back(name + " sd");
+  }
+  util::Table table(std::move(header));
+  for (const SweepPoint& pt : sweep) {
+    std::vector<std::string> row{pt.x_label};
+    for (const auto& name : pt.run.algorithm_order) {
+      const auto& agg = pt.run.aggregates.at(name);
+      row.push_back(util::fmt(agg.reliability.mean(), 4));
+      row.push_back(util::fmt(agg.reliability.stddev(), 4));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::Table usage_table(const std::string& x_name,
+                        const std::vector<SweepPoint>& sweep,
+                        const std::string& algorithm) {
+  util::Table table({x_name, algorithm + " avg usage", "min usage",
+                     "max usage"});
+  for (const SweepPoint& pt : sweep) {
+    const auto& agg = pt.run.aggregates.at(algorithm);
+    table.add_row({pt.x_label, util::fmt(agg.avg_usage.mean(), 4),
+                   util::fmt(agg.min_usage.mean(), 4),
+                   util::fmt(agg.max_usage.mean(), 4)});
+  }
+  return table;
+}
+
+util::Table runtime_table(const std::string& x_name,
+                          const std::vector<SweepPoint>& sweep) {
+  MECRA_CHECK(!sweep.empty());
+  std::vector<std::string> header{x_name};
+  for (const auto& name : sweep.front().run.algorithm_order) {
+    header.push_back(name + " ms");
+  }
+  util::Table table(std::move(header));
+  for (const SweepPoint& pt : sweep) {
+    std::vector<std::string> row{pt.x_label};
+    for (const auto& name : pt.run.algorithm_order) {
+      const auto& agg = pt.run.aggregates.at(name);
+      row.push_back(util::fmt(agg.runtime.mean() * 1e3, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::Table ratio_to_first_table(const std::string& x_name,
+                                 const std::vector<SweepPoint>& sweep) {
+  MECRA_CHECK(!sweep.empty());
+  const auto& order = sweep.front().run.algorithm_order;
+  MECRA_CHECK(order.size() >= 2);
+  std::vector<std::string> header{x_name};
+  for (std::size_t a = 1; a < order.size(); ++a) {
+    header.push_back(order[a] + " / " + order[0]);
+  }
+  util::Table table(std::move(header));
+  for (const SweepPoint& pt : sweep) {
+    std::vector<std::string> row{pt.x_label};
+    const double base = pt.run.aggregates.at(order[0]).reliability.mean();
+    for (std::size_t a = 1; a < order.size(); ++a) {
+      const double val = pt.run.aggregates.at(order[a]).reliability.mean();
+      row.push_back(base > 0.0 ? util::fmt_pct(val / base, 2) : "n/a");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace mecra::sim

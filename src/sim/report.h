@@ -1,0 +1,39 @@
+// Rendering helpers turning RunResults into the tables the figure benches
+// print (one row per sweep point and algorithm, the same series the paper
+// plots).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "util/table.h"
+
+namespace mecra::sim {
+
+/// A single sweep point: the x-axis label (e.g. SFC length) plus its run.
+struct SweepPoint {
+  std::string x_label;
+  RunResult run;
+};
+
+/// Panel (a): achieved SFC reliability per algorithm (mean, and stddev).
+[[nodiscard]] util::Table reliability_table(
+    const std::string& x_name, const std::vector<SweepPoint>& sweep);
+
+/// Panel (b): capacity usage ratio (avg/min/max) for one algorithm
+/// (the paper reports it for Randomized).
+[[nodiscard]] util::Table usage_table(const std::string& x_name,
+                                      const std::vector<SweepPoint>& sweep,
+                                      const std::string& algorithm);
+
+/// Panel (c): mean running time (milliseconds) per algorithm.
+[[nodiscard]] util::Table runtime_table(const std::string& x_name,
+                                        const std::vector<SweepPoint>& sweep);
+
+/// Ratio of each algorithm's mean reliability to the first algorithm's
+/// (the paper quotes "within X% of the ILP").
+[[nodiscard]] util::Table ratio_to_first_table(
+    const std::string& x_name, const std::vector<SweepPoint>& sweep);
+
+}  // namespace mecra::sim

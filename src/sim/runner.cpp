@@ -1,0 +1,93 @@
+#include "sim/runner.h"
+
+#include <cstdlib>
+
+#include "core/greedy_baseline.h"
+#include "core/heuristic_matching.h"
+#include "core/ilp_exact.h"
+#include "core/randomized_rounding.h"
+#include "util/thread_pool.h"
+
+namespace mecra::sim {
+
+std::vector<AlgorithmSpec> paper_algorithms(bool include_greedy) {
+  std::vector<AlgorithmSpec> specs;
+  specs.push_back({"ILP", core::augment_ilp});
+  specs.push_back({"Randomized", core::augment_randomized});
+  specs.push_back({"Heuristic", core::augment_heuristic});
+  if (include_greedy) {
+    specs.push_back({"Greedy", core::augment_greedy});
+  }
+  return specs;
+}
+
+namespace {
+
+struct TrialOutcome {
+  bool scenario_ok = false;
+  std::vector<core::AugmentationResult> results;  // parallel to specs
+};
+
+}  // namespace
+
+RunResult run_trials(const ScenarioParams& params, const RunConfig& config,
+                     const std::vector<AlgorithmSpec>& specs) {
+  MECRA_CHECK(!specs.empty());
+  MECRA_CHECK(config.trials > 0);
+
+  const util::Rng master(config.seed);
+  std::vector<TrialOutcome> outcomes(config.trials);
+
+  util::parallel_for(config.trials, config.threads, [&](std::size_t trial) {
+    util::Rng rng = master.child(trial);
+    auto scenario = make_scenario(params, rng);
+    if (!scenario.has_value()) return;
+    TrialOutcome& out = outcomes[trial];
+    out.scenario_ok = true;
+    out.results.reserve(specs.size());
+    core::AugmentOptions opt = config.augment;
+    // Derive the rounding seed per trial so Randomized varies across trials
+    // but is reproducible.
+    opt.seed = util::derive_seed(config.seed, 0x9000 + trial);
+    for (const AlgorithmSpec& spec : specs) {
+      out.results.push_back(spec.run(scenario->instance, opt));
+    }
+  });
+
+  RunResult run;
+  for (const AlgorithmSpec& spec : specs) {
+    run.algorithm_order.push_back(spec.name);
+    run.aggregates.emplace(spec.name, AlgorithmAggregate{});
+  }
+  for (const TrialOutcome& out : outcomes) {
+    if (!out.scenario_ok) {
+      ++run.failed_scenarios;
+      continue;
+    }
+    for (std::size_t a = 0; a < specs.size(); ++a) {
+      AlgorithmAggregate& agg = run.aggregates.at(specs[a].name);
+      const core::AugmentationResult& r = out.results[a];
+      agg.reliability.add(r.achieved_reliability);
+      agg.reliability_gain.add(r.achieved_reliability -
+                               r.initial_reliability);
+      agg.runtime.add(r.runtime_seconds);
+      agg.avg_usage.add(r.avg_usage);
+      agg.min_usage.add(r.min_usage);
+      agg.max_usage.add(r.max_usage);
+      agg.placements.add(static_cast<double>(r.placements.size()));
+      if (r.expectation_met) ++agg.expectation_met;
+      ++agg.trials;
+    }
+  }
+  return run;
+}
+
+std::size_t trials_from_env(std::size_t fallback) {
+  if (const char* v = std::getenv("MECRA_TRIALS"); v != nullptr) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+}  // namespace mecra::sim

@@ -1,0 +1,67 @@
+// Trial runner: repeats a scenario generator over independent seeds, runs a
+// configurable set of algorithms on the SAME instance per trial (paired
+// comparison, as in the paper's figures), and aggregates every metric. Trials
+// execute on a thread pool; results are bit-identical to serial execution
+// because each trial derives its own RNG stream and owns its result slot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/augmentation.h"
+#include "sim/workload.h"
+#include "util/stats.h"
+
+namespace mecra::sim {
+
+/// An algorithm under test: name + callable on a BMCGAP instance.
+struct AlgorithmSpec {
+  std::string name;
+  std::function<core::AugmentationResult(const core::BmcgapInstance&,
+                                         const core::AugmentOptions&)>
+      run;
+};
+
+/// The paper's three algorithms (ILP, Randomized, Heuristic), in paper
+/// order. `include_greedy` appends the ablation baseline.
+[[nodiscard]] std::vector<AlgorithmSpec> paper_algorithms(
+    bool include_greedy = false);
+
+struct AlgorithmAggregate {
+  util::Accumulator reliability;      // achieved u_j
+  util::Accumulator reliability_gain; // achieved - initial
+  util::Accumulator runtime;          // seconds
+  util::Accumulator avg_usage;        // capacity usage ratios (panel (b))
+  util::Accumulator min_usage;
+  util::Accumulator max_usage;
+  util::Accumulator placements;       // number of secondaries placed
+  std::size_t expectation_met = 0;    // trials reaching rho_j
+  std::size_t trials = 0;
+};
+
+struct RunConfig {
+  std::size_t trials = 30;
+  std::uint64_t seed = 20200817;  // ICPP'20 started 2020-08-17
+  std::size_t threads = 0;        // 0 = hardware concurrency
+  core::AugmentOptions augment;
+};
+
+/// Runs `config.trials` independent scenarios and aggregates per algorithm.
+/// Returned map preserves the spec order via an ordered name list.
+struct RunResult {
+  std::vector<std::string> algorithm_order;
+  std::map<std::string, AlgorithmAggregate> aggregates;
+  std::size_t failed_scenarios = 0;  // trials whose admission failed
+};
+
+[[nodiscard]] RunResult run_trials(const ScenarioParams& params,
+                                   const RunConfig& config,
+                                   const std::vector<AlgorithmSpec>& specs);
+
+/// Trial count from the environment (MECRA_TRIALS) with a fallback.
+[[nodiscard]] std::size_t trials_from_env(std::size_t fallback);
+
+}  // namespace mecra::sim

@@ -1,0 +1,40 @@
+#include "sim/workload.h"
+
+namespace mecra::sim {
+
+std::optional<Scenario> make_scenario(const ScenarioParams& params,
+                                      util::Rng& rng,
+                                      std::size_t max_retries) {
+  for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
+    graph::WaxmanParams wax;
+    wax.num_nodes = params.num_aps;
+    wax.alpha = params.waxman_alpha;
+    wax.beta = params.waxman_beta;
+    auto topo = graph::waxman(wax, rng);
+
+    Scenario s;
+    s.network = mec::MecNetwork::random(std::move(topo.graph),
+                                        params.cloudlets, rng);
+    s.network.set_residual_fraction(params.residual_fraction);
+    s.catalog = mec::VnfCatalog::random(params.catalog, rng);
+    s.request = mec::random_request(attempt, s.catalog,
+                                    s.network.num_nodes(), params.request,
+                                    rng);
+
+    std::optional<admission::PrimaryPlacement> primaries;
+    if (params.dag_admission) {
+      primaries = admission::dag_admission(s.network, s.catalog, s.request);
+    } else {
+      primaries =
+          admission::random_admission(s.network, s.catalog, s.request, rng);
+    }
+    if (!primaries.has_value()) continue;  // could not admit; retry fresh
+    s.primaries = std::move(*primaries);
+    s.instance = core::build_bmcgap(s.network, s.catalog, s.request,
+                                    s.primaries, params.bmcgap);
+    return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mecra::sim

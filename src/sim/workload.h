@@ -1,0 +1,52 @@
+// Workload generation for the paper's experiments (Section 7.1): a GT-ITM
+// (Waxman) topology of APs, 10% of them hosting cloudlets of 4000-8000 MHz,
+// a 30-function catalog with 200-400 MHz demands, a random SFC request, a
+// configurable residual-capacity fraction, random primary placement, and
+// the assembled BMCGAP instance.
+#pragma once
+
+#include <optional>
+
+#include "admission/admission.h"
+#include "core/bmcgap.h"
+#include "graph/topology.h"
+#include "mec/network.h"
+#include "mec/request.h"
+#include "mec/vnf.h"
+#include "util/rng.h"
+
+namespace mecra::sim {
+
+struct ScenarioParams {
+  std::size_t num_aps = 100;
+  double waxman_alpha = 0.4;
+  double waxman_beta = 0.2;
+  mec::MecNetwork::RandomParams cloudlets;
+  mec::VnfCatalog::RandomParams catalog;
+  mec::RequestParams request;
+  /// Fraction of each cloudlet's capacity still free BEFORE the request's
+  /// primaries are placed (the paper's "residual computing capacity" knob;
+  /// 25% in the default setting).
+  double residual_fraction = 0.25;
+  core::BmcgapOptions bmcgap;  // hop radius l lives here
+  /// When true, primaries go through the Section 4.1 DAG admission instead
+  /// of the paper experiments' random placement.
+  bool dag_admission = false;
+};
+
+/// A fully generated single-request experiment scenario. The network's
+/// residual already accounts for background load and the primaries.
+struct Scenario {
+  mec::MecNetwork network;
+  mec::VnfCatalog catalog;
+  mec::SfcRequest request;
+  admission::PrimaryPlacement primaries;
+  core::BmcgapInstance instance;
+};
+
+/// Generates a scenario; nullopt when the primaries cannot be admitted
+/// (all retries exhausted — only plausible at extreme residual scarcity).
+[[nodiscard]] std::optional<Scenario> make_scenario(
+    const ScenarioParams& params, util::Rng& rng, std::size_t max_retries = 16);
+
+}  // namespace mecra::sim

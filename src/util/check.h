@@ -1,0 +1,50 @@
+// Lightweight contract-checking macros (C++ Core Guidelines I.6/I.8 style).
+//
+// MECRA_CHECK is always on (release builds included) because the library is
+// used as a research artifact where silent corruption is worse than an abort.
+// MECRA_DCHECK compiles away in NDEBUG builds and is for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mecra::util {
+
+/// Thrown when a MECRA_CHECK contract is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace mecra::util
+
+#define MECRA_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::mecra::util::check_failed(#expr, __FILE__, __LINE__, "");       \
+    }                                                                   \
+  } while (false)
+
+#define MECRA_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::mecra::util::check_failed(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define MECRA_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define MECRA_DCHECK(expr) MECRA_CHECK(expr)
+#endif

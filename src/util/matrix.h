@@ -1,0 +1,58 @@
+// Dense row-major matrix of doubles. The simplex solver and the Hungarian
+// matcher keep their working state in these; the class is deliberately thin —
+// contiguous storage, bounds-checked element access in debug builds, and
+// row spans for cache-friendly inner loops.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mecra::util {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    MECRA_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    MECRA_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    MECRA_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    MECRA_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  /// Resizes, discarding previous contents.
+  void reset(std::size_t rows, std::size_t cols, double fill_value = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill_value);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mecra::util

@@ -1,0 +1,42 @@
+#include "util/rng.h"
+
+#include <numeric>
+
+namespace mecra::util {
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  MECRA_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    MECRA_CHECK_MSG(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  MECRA_CHECK_MSG(total > 0.0, "categorical needs a positive total weight");
+  double target = uniform(0.0, total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  // Floating-point slack: target landed at/after the last cumulative edge.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;  // unreachable given the positive-total check
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  MECRA_CHECK(k <= n);
+  // Partial Fisher–Yates over an index vector: O(n) setup, O(k) swaps.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace mecra::util

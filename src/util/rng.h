@@ -1,0 +1,118 @@
+// Deterministic random-number utilities.
+//
+// All stochastic components of the library (topology generation, workload
+// generation, randomized rounding) draw from an explicitly threaded Rng so
+// that every experiment is reproducible from a single master seed, and so
+// that parallel trial execution produces bit-identical results to serial
+// execution (each trial derives its own child seed; see derive_seed()).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mecra::util {
+
+/// SplitMix64 step; used for seed derivation (Steele et al., OOPSLA'14).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives an independent child seed from a master seed and a stream index.
+/// Deterministic: the same (seed, stream) always yields the same child.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t stream) noexcept {
+  return splitmix64(seed ^ splitmix64(stream + 0x632be59bd9b4e019ULL));
+}
+
+/// Deterministic pseudo-random generator wrapping std::mt19937_64 with the
+/// convenience draws the library needs. Cheap to copy; copies diverge.
+class Rng {
+ public:
+  using result_type = std::mt19937_64::result_type;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) : engine_(seed), seed_(seed) {}
+
+  /// The seed this generator was constructed with.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Child generator for an independent stream (e.g. one per trial).
+  /// Derivation depends only on the construction seed, not on how many draws
+  /// have been made, so child streams are stable across refactorings.
+  [[nodiscard]] Rng child(std::uint64_t stream) const {
+    return Rng(derive_seed(seed_, stream));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    MECRA_CHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform size_t index in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    MECRA_CHECK(n > 0);
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  [[nodiscard]] double uniform(double lo, double hi) {
+    MECRA_CHECK(lo < hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p) {
+    MECRA_CHECK(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponential draw with the given mean (> 0); used for Poisson arrival
+  /// processes and holding times in the dynamic simulator.
+  [[nodiscard]] double exponential(double mean) {
+    MECRA_CHECK(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  [[nodiscard]] std::size_t categorical(std::span<const double> weights);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k);
+
+  /// UniformRandomBitGenerator interface.
+  [[nodiscard]] result_type operator()() { return engine_(); }
+  [[nodiscard]] static constexpr result_type min() {
+    return std::mt19937_64::min();
+  }
+  [[nodiscard]] static constexpr result_type max() {
+    return std::mt19937_64::max();
+  }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mecra::util

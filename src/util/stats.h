@@ -1,0 +1,49 @@
+// Streaming statistics accumulators used by the simulation harness to
+// aggregate per-trial metrics (reliability, runtime, usage ratios).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mecra::util {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm, which
+/// is numerically stable for long trial sequences).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  /// Mean of the added samples. Returns 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Minimum / maximum; +inf / -inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact quantile of a sample set (linear interpolation between order
+/// statistics, the "type 7" definition used by numpy/R). q in [0, 1].
+[[nodiscard]] double quantile(std::span<const double> samples, double q);
+
+/// Mean of a sample span; 0 for an empty span.
+[[nodiscard]] double mean_of(std::span<const double> samples) noexcept;
+
+/// Sample standard deviation of a span; 0 when fewer than two samples.
+[[nodiscard]] double stddev_of(std::span<const double> samples) noexcept;
+
+}  // namespace mecra::util

@@ -1,0 +1,45 @@
+// Tabular output for the benchmark harnesses: every figure bench prints the
+// same rows/series the paper plots, both as an aligned console table and
+// (optionally) as CSV for replotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mecra::util {
+
+/// A simple column-oriented table: set a header, append rows of cells, then
+/// render. Cells are preformatted strings; helpers format doubles.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; its size must match the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return header_.size(); }
+
+  /// Renders with space-padded, aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote are quoted).
+  void print_csv(std::ostream& os) const;
+
+  /// Writes CSV to `path`, creating parent directories is NOT attempted.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places (fixed).
+[[nodiscard]] std::string fmt(double value, int digits = 4);
+
+/// Formats a double as a percentage with `digits` decimals, e.g. "97.82%".
+[[nodiscard]] std::string fmt_pct(double fraction, int digits = 2);
+
+}  // namespace mecra::util

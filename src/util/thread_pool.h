@@ -1,0 +1,55 @@
+// Fixed-size thread pool with a parallel_for convenience, used to run
+// independent simulation trials concurrently. Determinism is preserved by
+// construction: each loop index owns its result slot and derives its own RNG
+// stream, so parallel and serial executions are bit-identical.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mecra::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (0 means hardware_concurrency,
+  /// clamped to at least one worker).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, n), distributing contiguous blocks across
+  /// the pool and blocking until all complete. The first exception thrown by
+  /// any fn(i) is rethrown on the calling thread (remaining work for other
+  /// blocks still completes; within a block, later indices are skipped).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) on a temporary pool when `threads != 1`, or
+/// inline when `threads == 1` (useful for debugging and tiny workloads).
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace mecra::util

@@ -1,0 +1,46 @@
+// Wall-clock timing for the experiment harness (Figure panels (c) report
+// per-algorithm running times).
+#pragma once
+
+#include <chrono>
+
+namespace mecra::util {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  [[nodiscard]] double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple timed sections.
+class StopwatchAccumulator {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += timer_.elapsed_seconds();
+      running_ = false;
+    }
+  }
+  [[nodiscard]] double total_seconds() const { return total_; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace mecra::util

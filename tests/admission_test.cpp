@@ -1,0 +1,184 @@
+// Tests for the admission framework: random primary placement (the paper's
+// experimental policy) and the Section 4.1 layered-DAG maximum-reliability
+// admission.
+#include <gtest/gtest.h>
+
+#include "admission/admission.h"
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace mecra::admission {
+namespace {
+
+mec::VnfCatalog two_function_catalog() {
+  return mec::VnfCatalog({{0, "a", 0.9, 300.0}, {0, "b", 0.8, 400.0}});
+}
+
+mec::SfcRequest chain_request(std::vector<mec::FunctionId> chain,
+                              double rho = 0.99) {
+  mec::SfcRequest req;
+  req.chain = std::move(chain);
+  req.expectation = rho;
+  req.source = 0;
+  req.destination = 0;
+  return req;
+}
+
+TEST(InitialReliability, ProductOfChainReliabilities) {
+  const auto cat = two_function_catalog();
+  EXPECT_NEAR(initial_reliability(cat, chain_request({0, 1})), 0.72, 1e-12);
+  EXPECT_NEAR(initial_reliability(cat, chain_request({0, 0, 1})),
+              0.9 * 0.9 * 0.8, 1e-12);
+}
+
+// ------------------------------------------------------- random admission
+
+TEST(RandomAdmission, PlacesEveryFunctionAndConsumes) {
+  util::Rng rng(1);
+  mec::MecNetwork net(graph::path_graph(3), {0.0, 1000.0, 0.0});
+  const auto cat = two_function_catalog();
+  const auto req = chain_request({0, 1});
+  const double before = net.total_residual();
+  const auto placement = random_admission(net, cat, req, rng);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->length(), 2u);
+  for (graph::NodeId v : placement->cloudlet_of) EXPECT_EQ(v, 1u);
+  EXPECT_DOUBLE_EQ(net.total_residual(), before - 700.0);
+}
+
+TEST(RandomAdmission, FailsCleanlyWhenNothingFits) {
+  util::Rng rng(1);
+  mec::MecNetwork net(graph::path_graph(3), {0.0, 500.0, 0.0});
+  const auto cat = two_function_catalog();
+  // Chain of three 300s cannot fit into 500: second placement fails.
+  const auto req = chain_request({0, 0, 0});
+  const auto placement = random_admission(net, cat, req, rng);
+  EXPECT_FALSE(placement.has_value());
+  // Rollback restored everything.
+  EXPECT_DOUBLE_EQ(net.residual(1), 500.0);
+}
+
+TEST(RandomAdmission, OnlyUsesCloudletsWithRoom) {
+  util::Rng rng(2);
+  // Two cloudlets: one is already full.
+  mec::MecNetwork net(graph::path_graph(3), {600.0, 300.0, 0.0});
+  net.consume(1, 300.0);
+  const auto cat = two_function_catalog();
+  for (int trial = 0; trial < 20; ++trial) {
+    auto copy = net;
+    const auto placement = random_admission(copy, cat, chain_request({0}), rng);
+    ASSERT_TRUE(placement.has_value());
+    EXPECT_EQ(placement->cloudlet_of[0], 0u);
+  }
+}
+
+// ---------------------------------------------------------- DAG admission
+
+TEST(DagAdmission, PlacesChainOnFeasibleCloudlets) {
+  mec::MecNetwork net(graph::path_graph(4), {0.0, 1000.0, 0.0, 1000.0});
+  const auto cat = two_function_catalog();
+  auto req = chain_request({0, 1, 0});
+  req.source = 0;
+  req.destination = 3;
+  const auto placement = dag_admission(net, cat, req);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->length(), 3u);
+  for (graph::NodeId v : placement->cloudlet_of) {
+    EXPECT_TRUE(net.is_cloudlet(v));
+  }
+}
+
+TEST(DagAdmission, PrefersMoreAvailableHosts) {
+  // Identical capacities; host availability favours cloudlet 3.
+  mec::MecNetwork net(graph::path_graph(4), {0.0, 1000.0, 0.0, 1000.0});
+  const auto cat = two_function_catalog();
+  auto req = chain_request({0});
+  DagAdmissionOptions opt;
+  opt.host_availability = {1.0, 0.7, 1.0, 0.99};
+  const auto placement = dag_admission(net, cat, req, opt);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->cloudlet_of[0], 3u);
+}
+
+TEST(DagAdmission, HopPenaltyPullsPlacementTowardEndpoints) {
+  // Cloudlets at both ends; equal availability. With a hop penalty and
+  // source/destination at node 0, the near cloudlet (1) wins.
+  mec::MecNetwork net(graph::path_graph(6),
+                      {0.0, 1000.0, 0.0, 0.0, 0.0, 1000.0});
+  const auto cat = two_function_catalog();
+  auto req = chain_request({0});
+  req.source = 0;
+  req.destination = 0;
+  DagAdmissionOptions opt;
+  opt.hop_penalty = 0.01;
+  const auto placement = dag_admission(net, cat, req, opt);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->cloudlet_of[0], 1u);
+}
+
+TEST(DagAdmission, ReplansWhenSharedCloudletFills) {
+  // One big chain forced through small cloudlets: the DP prices layers
+  // independently, the commit loop must re-plan when capacity runs out.
+  mec::MecNetwork net(graph::path_graph(4), {0.0, 650.0, 0.0, 900.0});
+  const auto cat = two_function_catalog();  // demands 300 / 400
+  auto req = chain_request({0, 0, 0, 0});   // 4 x 300 = 1200 total
+  const auto placement = dag_admission(net, cat, req);
+  ASSERT_TRUE(placement.has_value());
+  // Feasible split: 2 at cloudlet 1 (600 <= 650) + 2 at cloudlet 3.
+  EXPECT_EQ(placement->length(), 4u);
+  EXPECT_LE(net.used(1), 650.0);
+  EXPECT_LE(net.used(3), 900.0);
+}
+
+TEST(DagAdmission, InfeasibleChainRollsBack) {
+  mec::MecNetwork net(graph::path_graph(3), {0.0, 700.0, 0.0});
+  const auto cat = two_function_catalog();
+  const auto req = chain_request({0, 0, 0});  // 900 > 700
+  const auto placement = dag_admission(net, cat, req);
+  EXPECT_FALSE(placement.has_value());
+  EXPECT_DOUBLE_EQ(net.residual(1), 700.0);
+}
+
+TEST(DagAdmission, MatchesRandomAdmissionOnReliabilityWhenUniform) {
+  // With uniform availability and no hop penalty every placement has the
+  // same reliability, so the DAG framework cannot do worse than random.
+  util::Rng rng(9);
+  graph::WaxmanParams wax;
+  wax.num_nodes = 40;
+  auto topo = graph::waxman(wax, rng);
+  auto net = mec::MecNetwork::random(std::move(topo.graph), {}, rng);
+  util::Rng cat_rng(10);
+  const auto cat = mec::VnfCatalog::random({}, cat_rng);
+  mec::RequestParams rp;
+  const auto req = mec::random_request(0, cat, net.num_nodes(), rp, rng);
+
+  auto net_dag = net;
+  const auto dag = dag_admission(net_dag, cat, req);
+  ASSERT_TRUE(dag.has_value());
+  EXPECT_EQ(dag->length(), req.length());
+}
+
+}  // namespace
+}  // namespace mecra::admission
+
+// Appended: defensive checks on the DAG admission options.
+namespace mecra::admission {
+namespace {
+
+TEST(DagAdmission, RejectsOutOfRangeAvailabilityValues) {
+  mec::MecNetwork net(graph::path_graph(3), {0.0, 1000.0, 0.0});
+  const auto cat = two_function_catalog();
+  DagAdmissionOptions opt;
+  opt.host_availability = {1.0, 1.5, 1.0};  // > 1 is invalid
+  EXPECT_THROW((void)dag_admission(net, cat, chain_request({0}), opt),
+               util::CheckFailure);
+}
+
+TEST(DagAdmission, EmptyCloudletSetFails) {
+  mec::MecNetwork net(graph::path_graph(3), {0.0, 0.0, 0.0});
+  const auto cat = two_function_catalog();
+  EXPECT_FALSE(dag_admission(net, cat, chain_request({0})).has_value());
+}
+
+}  // namespace
+}  // namespace mecra::admission

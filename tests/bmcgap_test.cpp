@@ -1,0 +1,166 @@
+// Tests for the BMCGAP instance builder (Sections 4.2-4.3): candidate sets,
+// item universes (K_i), cost/gain lookups, the budget, and big-M.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bmcgap.h"
+#include "test_fixtures.h"
+
+namespace mecra::core {
+namespace {
+
+TEST(Bmcgap, TinyFixtureShape) {
+  const auto f = test::tiny_fixture();
+  const auto& inst = f.instance;
+
+  ASSERT_EQ(inst.functions.size(), 2u);
+  // Function a: primary at node 1, one-hop cloudlets {1, 2}.
+  EXPECT_EQ(inst.functions[0].primary, 1u);
+  EXPECT_EQ(inst.functions[0].allowed, (std::vector<graph::NodeId>{1, 2}));
+  // K_a = floor(700/300) + floor(400/300) = 2 + 1.
+  EXPECT_EQ(inst.functions[0].max_secondaries, 3u);
+  // Function b: primary at node 2; K_b = floor(700/400) + floor(400/400).
+  EXPECT_EQ(inst.functions[1].allowed, (std::vector<graph::NodeId>{1, 2}));
+  EXPECT_EQ(inst.functions[1].max_secondaries, 2u);
+
+  EXPECT_EQ(inst.num_items(), 5u);
+  EXPECT_EQ(inst.cloudlets, (std::vector<graph::NodeId>{1, 2}));
+  EXPECT_DOUBLE_EQ(inst.residual[0], 700.0);
+  EXPECT_DOUBLE_EQ(inst.residual[1], 400.0);
+  EXPECT_DOUBLE_EQ(inst.capacity[0], 1000.0);
+
+  EXPECT_NEAR(inst.initial_reliability, 0.72, 1e-12);
+  EXPECT_NEAR(inst.budget, -std::log(0.99), 1e-12);
+}
+
+TEST(Bmcgap, ItemsAreGroupedAndOneBased) {
+  const auto f = test::tiny_fixture();
+  const auto& items = f.instance.items;
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(items[0], (ItemRef{0, 1}));
+  EXPECT_EQ(items[1], (ItemRef{0, 2}));
+  EXPECT_EQ(items[2], (ItemRef{0, 3}));
+  EXPECT_EQ(items[3], (ItemRef{1, 1}));
+  EXPECT_EQ(items[4], (ItemRef{1, 2}));
+}
+
+TEST(Bmcgap, CostAndGainLookupsMatchReliabilityModule) {
+  const auto f = test::tiny_fixture();
+  const auto& inst = f.instance;
+  EXPECT_NEAR(inst.item_cost({0, 1}), -std::log(0.8 * 0.2), 1e-12);
+  EXPECT_NEAR(inst.item_gain({0, 1}), std::log(0.96 / 0.8), 1e-12);
+  EXPECT_DOUBLE_EQ(inst.item_demand({0, 1}), 300.0);
+  EXPECT_DOUBLE_EQ(inst.item_demand({1, 1}), 400.0);
+}
+
+TEST(Bmcgap, BigMIs100xLargestFiniteCost) {
+  const auto f = test::tiny_fixture();
+  const auto& inst = f.instance;
+  // Largest finite item cost: function a, k = 3.
+  EXPECT_NEAR(inst.big_m, 100.0 * inst.item_cost({0, 3}), 1e-9);
+}
+
+TEST(Bmcgap, ReliabilityForCounts) {
+  const auto f = test::tiny_fixture();
+  EXPECT_NEAR(f.instance.reliability_for_counts({0, 0}), 0.72, 1e-12);
+  EXPECT_NEAR(f.instance.reliability_for_counts({2, 1}), 0.992 * 0.99,
+              1e-12);
+}
+
+TEST(Bmcgap, NeededGain) {
+  const auto f = test::tiny_fixture();
+  EXPECT_NEAR(f.instance.needed_gain(),
+              std::log(0.99) - std::log(0.72), 1e-12);
+  const auto g = test::tiny_fixture(1.0, /*expectation=*/0.5);
+  EXPECT_DOUBLE_EQ(g.instance.needed_gain(), 0.0);  // already above 0.5
+}
+
+TEST(Bmcgap, CloudletIndexRejectsForeignNodes) {
+  const auto f = test::tiny_fixture();
+  EXPECT_EQ(f.instance.cloudlet_index(1), 0u);
+  EXPECT_EQ(f.instance.cloudlet_index(2), 1u);
+  EXPECT_THROW((void)f.instance.cloudlet_index(0), util::CheckFailure);
+}
+
+TEST(Bmcgap, HopRadiusGrowsCandidateSets) {
+  // At l = 1, node 2's cloudlet is 1 hop from node 1 — already reachable.
+  // Shrink to a fixture where l matters: path 0-1-2-3-4, cloudlets 1 and 4.
+  mec::MecNetwork net(graph::path_graph(5), {0.0, 1000.0, 0.0, 0.0, 1000.0});
+  mec::VnfCatalog cat({{0, "a", 0.8, 300.0}});
+  mec::SfcRequest req;
+  req.chain = {0};
+  req.expectation = 0.99;
+  net.consume(1, 300.0);
+  admission::PrimaryPlacement primaries;
+  primaries.cloudlet_of = {1};
+
+  BmcgapOptions o1;
+  o1.l_hops = 1;
+  const auto i1 = build_bmcgap(net, cat, req, primaries, o1);
+  EXPECT_EQ(i1.functions[0].allowed, (std::vector<graph::NodeId>{1}));
+
+  BmcgapOptions o3;
+  o3.l_hops = 3;
+  const auto i3 = build_bmcgap(net, cat, req, primaries, o3);
+  EXPECT_EQ(i3.functions[0].allowed, (std::vector<graph::NodeId>{1, 4}));
+  EXPECT_GT(i3.functions[0].max_secondaries,
+            i1.functions[0].max_secondaries);
+}
+
+TEST(Bmcgap, GainCapTruncatesItemUniverse) {
+  const auto loose = test::tiny_fixture();
+  mec::MecNetwork net(graph::path_graph(3), {0.0, 100000.0, 100000.0});
+  mec::VnfCatalog cat({{0, "a", 0.8, 300.0}});
+  mec::SfcRequest req;
+  req.chain = {0};
+  req.expectation = 0.99;
+  admission::PrimaryPlacement primaries;
+  primaries.cloudlet_of = {1};
+  // Huge capacity: the gain horizon, not capacity, must cap K.
+  BmcgapOptions opt;
+  opt.min_gain = 1e-6;
+  const auto inst = build_bmcgap(net, cat, req, primaries, opt);
+  EXPECT_EQ(inst.functions[0].max_secondaries,
+            mec::useful_secondary_cap(0.8, 1e-6, opt.secondary_hard_cap));
+  EXPECT_LT(inst.functions[0].max_secondaries, 20u);
+  (void)loose;
+}
+
+TEST(Bmcgap, PerfectlyReliableFunctionGeneratesNoItems) {
+  mec::MecNetwork net(graph::path_graph(3), {0.0, 1000.0, 0.0});
+  mec::VnfCatalog cat({{0, "perfect", 1.0, 300.0}});
+  mec::SfcRequest req;
+  req.chain = {0};
+  req.expectation = 0.999;
+  admission::PrimaryPlacement primaries;
+  primaries.cloudlet_of = {1};
+  const auto inst = build_bmcgap(net, cat, req, primaries, {});
+  EXPECT_EQ(inst.num_items(), 0u);
+  EXPECT_DOUBLE_EQ(inst.initial_reliability, 1.0);
+}
+
+TEST(Bmcgap, RejectsPrimaryOffCloudlet) {
+  mec::MecNetwork net(graph::path_graph(3), {0.0, 1000.0, 0.0});
+  mec::VnfCatalog cat({{0, "a", 0.8, 300.0}});
+  mec::SfcRequest req;
+  req.chain = {0};
+  admission::PrimaryPlacement primaries;
+  primaries.cloudlet_of = {0};  // not a cloudlet
+  EXPECT_THROW((void)build_bmcgap(net, cat, req, primaries, {}),
+               util::CheckFailure);
+}
+
+TEST(Bmcgap, RejectsMismatchedPrimaryLength) {
+  mec::MecNetwork net(graph::path_graph(3), {0.0, 1000.0, 0.0});
+  mec::VnfCatalog cat({{0, "a", 0.8, 300.0}});
+  mec::SfcRequest req;
+  req.chain = {0, 0};
+  admission::PrimaryPlacement primaries;
+  primaries.cloudlet_of = {1};
+  EXPECT_THROW((void)build_bmcgap(net, cat, req, primaries, {}),
+               util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace mecra::core

@@ -1,0 +1,126 @@
+// Tests for the dynamic (arrivals/departures) simulator: capacity
+// conservation, determinism, metric sanity, and load monotonicity.
+#include <gtest/gtest.h>
+
+#include "core/greedy_baseline.h"
+#include "graph/topology.h"
+#include "sim/dynamic.h"
+#include "util/rng.h"
+
+namespace mecra::sim {
+namespace {
+
+struct World {
+  mec::MecNetwork network;
+  mec::VnfCatalog catalog;
+};
+
+World make_world(std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::WaxmanParams wax;
+  wax.num_nodes = 60;
+  auto topo = graph::waxman(wax, rng);
+  return World{
+      mec::MecNetwork::random(std::move(topo.graph), {}, rng),
+      mec::VnfCatalog::random({}, rng),
+  };
+}
+
+TEST(Dynamic, AllCapacityReturnsAfterTheRunDrains) {
+  const auto world = make_world(1);
+  DynamicConfig config;
+  config.arrival_rate = 0.5;
+  config.mean_holding_time = 5.0;
+  config.horizon = 60.0;
+  const auto m = run_dynamic(world.network, world.catalog, config, 42);
+  // The simulator drains every live request at the end, so the final
+  // residual equals the initial one (conservation of consume/release).
+  EXPECT_NEAR(m.final_total_residual, world.network.total_residual(), 1e-6);
+  EXPECT_EQ(m.departed, m.admitted);
+}
+
+TEST(Dynamic, DeterministicPerSeed) {
+  const auto world = make_world(2);
+  DynamicConfig config;
+  config.horizon = 40.0;
+  const auto a = run_dynamic(world.network, world.catalog, config, 7);
+  const auto b = run_dynamic(world.network, world.catalog, config, 7);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.met_expectation, b.met_expectation);
+  EXPECT_DOUBLE_EQ(a.time_avg_utilization, b.time_avg_utilization);
+}
+
+TEST(Dynamic, MetricsAreInternallyConsistent) {
+  const auto world = make_world(3);
+  DynamicConfig config;
+  config.arrival_rate = 1.0;
+  config.horizon = 50.0;
+  const auto m = run_dynamic(world.network, world.catalog, config, 9);
+  EXPECT_EQ(m.admitted + m.blocked, m.arrivals);
+  EXPECT_LE(m.met_expectation, m.admitted);
+  EXPECT_GE(m.time_avg_utilization, 0.0);
+  EXPECT_LE(m.time_avg_utilization, 1.0 + 1e-9);
+  EXPECT_GE(m.peak_utilization, m.time_avg_utilization - 1e-9);
+  EXPECT_GT(m.arrivals, 0u);
+  if (m.admitted > 0) {
+    EXPECT_GT(m.mean_achieved_reliability, 0.0);
+    EXPECT_LE(m.mean_achieved_reliability, 1.0 + 1e-9);
+  }
+}
+
+TEST(Dynamic, HigherLoadRaisesUtilizationAndBlocking) {
+  const auto world = make_world(4);
+  DynamicConfig light;
+  light.arrival_rate = 0.2;
+  light.mean_holding_time = 8.0;
+  light.horizon = 120.0;
+  DynamicConfig heavy = light;
+  heavy.arrival_rate = 3.0;
+  const auto ml = run_dynamic(world.network, world.catalog, light, 11);
+  const auto mh = run_dynamic(world.network, world.catalog, heavy, 11);
+  EXPECT_GT(mh.time_avg_utilization, ml.time_avg_utilization);
+  EXPECT_GE(mh.blocked, ml.blocked);
+  // Under saturation, fewer admitted requests can reach rho.
+  if (ml.admitted > 0 && mh.admitted > 0) {
+    const double frac_light = static_cast<double>(ml.met_expectation) /
+                              static_cast<double>(ml.admitted);
+    const double frac_heavy = static_cast<double>(mh.met_expectation) /
+                              static_cast<double>(mh.admitted);
+    EXPECT_LE(frac_heavy, frac_light + 0.05);
+  }
+}
+
+TEST(Dynamic, PluggableAlgorithmIsUsed) {
+  const auto world = make_world(5);
+  DynamicConfig config;
+  config.horizon = 30.0;
+  std::size_t calls = 0;
+  config.algorithm = [&calls](const core::BmcgapInstance& inst,
+                              const core::AugmentOptions& opt) {
+    ++calls;
+    return core::augment_greedy(inst, opt);
+  };
+  const auto m = run_dynamic(world.network, world.catalog, config, 13);
+  EXPECT_EQ(calls, m.admitted);
+}
+
+TEST(Dynamic, InputNetworkIsUntouched) {
+  const auto world = make_world(6);
+  const double before = world.network.total_residual();
+  DynamicConfig config;
+  config.horizon = 20.0;
+  (void)run_dynamic(world.network, world.catalog, config, 17);
+  EXPECT_DOUBLE_EQ(world.network.total_residual(), before);
+}
+
+TEST(Dynamic, RejectsBadConfig) {
+  const auto world = make_world(7);
+  DynamicConfig bad;
+  bad.arrival_rate = 0.0;
+  EXPECT_THROW((void)run_dynamic(world.network, world.catalog, bad, 1),
+               util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace mecra::sim

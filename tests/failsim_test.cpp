@@ -1,0 +1,170 @@
+// Tests for the failure-injection substrate: analytic formulas, empirical
+// convergence to Eq. (1), heterogeneous reliabilities, correlated cloudlet
+// outages, and the deployment bridge from augmentation results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/deployment.h"
+#include "core/heuristic_matching.h"
+#include "failsim/failsim.h"
+#include "test_fixtures.h"
+
+namespace mecra::failsim {
+namespace {
+
+Deployment single_group(std::vector<DeployedInstance> instances) {
+  Deployment d;
+  d.groups.push_back(std::move(instances));
+  return d;
+}
+
+// ---------------------------------------------------------------- analytic
+
+TEST(FailsimAnalytic, SingleInstance) {
+  const auto d = single_group({{0, 0.8}});
+  EXPECT_DOUBLE_EQ(analytic_reliability(d), 0.8);
+}
+
+TEST(FailsimAnalytic, HomogeneousGroupMatchesEq1) {
+  const auto d = single_group({{0, 0.8}, {1, 0.8}, {2, 0.8}});
+  EXPECT_NEAR(analytic_reliability(d), 0.992, 1e-12);  // 1 - 0.2^3
+}
+
+TEST(FailsimAnalytic, HeterogeneousGroup) {
+  const auto d = single_group({{0, 0.9}, {1, 0.5}});
+  EXPECT_NEAR(analytic_reliability(d), 1.0 - 0.1 * 0.5, 1e-12);
+}
+
+TEST(FailsimAnalytic, ChainIsProductOfGroups) {
+  Deployment d;
+  d.groups.push_back({{0, 0.9}});
+  d.groups.push_back({{1, 0.8}, {2, 0.8}});
+  EXPECT_NEAR(analytic_reliability(d), 0.9 * 0.96, 1e-12);
+}
+
+TEST(FailsimAnalytic, EmptyGroupKillsTheChain) {
+  Deployment d;
+  d.groups.push_back({{0, 0.9}});
+  d.groups.push_back({});
+  EXPECT_DOUBLE_EQ(analytic_reliability(d), 0.0);
+  EXPECT_EQ(d.total_instances(), 1u);
+}
+
+// --------------------------------------------------------------- injection
+
+TEST(FailsimInjection, ConvergesToAnalyticHomogeneous) {
+  Deployment d;
+  d.groups.push_back({{0, 0.85}, {1, 0.85}});
+  d.groups.push_back({{2, 0.9}});
+  util::Rng rng(3);
+  const auto r = inject_failures(d, {.epochs = 60000}, rng);
+  const double expected = analytic_reliability(d);
+  EXPECT_NEAR(r.empirical_reliability, expected,
+              3.0 * r.confidence_halfwidth);
+  EXPECT_NEAR(r.per_function_reliability[0], 1.0 - 0.15 * 0.15, 0.01);
+  EXPECT_NEAR(r.per_function_reliability[1], 0.9, 0.01);
+}
+
+TEST(FailsimInjection, ConvergesForHeterogeneousReliabilities) {
+  Deployment d;
+  d.groups.push_back({{0, 0.95}, {1, 0.6}, {2, 0.7}});
+  util::Rng rng(4);
+  const auto r = inject_failures(d, {.epochs = 60000}, rng);
+  EXPECT_NEAR(r.empirical_reliability, analytic_reliability(d),
+              3.0 * r.confidence_halfwidth);
+}
+
+TEST(FailsimInjection, DeterministicPerSeed) {
+  Deployment d;
+  d.groups.push_back({{0, 0.8}, {1, 0.7}});
+  util::Rng a(5);
+  util::Rng b(5);
+  const auto ra = inject_failures(d, {.epochs = 500}, a);
+  const auto rb = inject_failures(d, {.epochs = 500}, b);
+  EXPECT_EQ(ra.empirical_reliability, rb.empirical_reliability);
+}
+
+TEST(FailsimInjection, ConfidenceShrinksWithEpochs) {
+  Deployment d;
+  d.groups.push_back({{0, 0.8}});
+  util::Rng rng(6);
+  const auto small = inject_failures(d, {.epochs = 1000}, rng);
+  const auto large = inject_failures(d, {.epochs = 100000}, rng);
+  EXPECT_LT(large.confidence_halfwidth, small.confidence_halfwidth);
+}
+
+// ----------------------------------------------------------------- outages
+
+TEST(FailsimOutages, AnalyticReducesToEq1WithoutOutages) {
+  Deployment d;
+  d.groups.push_back({{0, 0.8}, {1, 0.8}});
+  EXPECT_DOUBLE_EQ(analytic_reliability_with_outages(d, 0.0),
+                   analytic_reliability(d));
+}
+
+TEST(FailsimOutages, SingleCloudletHandComputed) {
+  // One instance at cloudlet 0, outage prob q: survives with (1-q) * r.
+  const auto d = single_group({{0, 0.8}});
+  EXPECT_NEAR(analytic_reliability_with_outages(d, 0.25), 0.75 * 0.8, 1e-12);
+}
+
+TEST(FailsimOutages, BackupsOnTheSameCloudletAreWorthLess) {
+  // Two backups on one cloudlet vs spread over two: correlated outages
+  // punish consolidation — exactly why the paper separates cloudlets.
+  const auto same = single_group({{0, 0.8}, {0, 0.8}});
+  const auto spread = single_group({{0, 0.8}, {1, 0.8}});
+  const double q = 0.1;
+  EXPECT_GT(analytic_reliability_with_outages(spread, q),
+            analytic_reliability_with_outages(same, q));
+  // Without outages the two placements are equivalent.
+  EXPECT_DOUBLE_EQ(analytic_reliability(same), analytic_reliability(spread));
+}
+
+TEST(FailsimOutages, InjectionConvergesToOutageAnalytic) {
+  Deployment d;
+  d.groups.push_back({{0, 0.85}, {1, 0.85}});
+  d.groups.push_back({{0, 0.9}, {2, 0.9}});
+  const double q = 0.15;
+  util::Rng rng(7);
+  const auto r = inject_failures(
+      d, {.epochs = 60000, .cloudlet_outage_probability = q}, rng);
+  EXPECT_NEAR(r.empirical_reliability,
+              analytic_reliability_with_outages(d, q),
+              3.0 * r.confidence_halfwidth);
+}
+
+// ------------------------------------------------------- deployment bridge
+
+TEST(DeploymentBridge, MatchesHomogeneousAchievedReliability) {
+  const auto f = test::tiny_fixture();
+  const auto result = core::augment_heuristic(f.instance);
+  const auto d = core::make_deployment(f.instance, result);
+  EXPECT_NEAR(analytic_reliability(d), result.achieved_reliability, 1e-12);
+  EXPECT_EQ(d.total_instances(),
+            f.instance.functions.size() + result.placements.size());
+}
+
+TEST(DeploymentBridge, AvailabilityFactorsScaleInstanceReliability) {
+  const auto f = test::tiny_fixture();
+  core::AugmentationResult empty;
+  core::finalize_result(f.instance, empty);
+  std::vector<double> availability(3, 1.0);
+  availability[1] = 0.5;  // primary of function a sits at node 1
+  const auto d = core::make_deployment(f.instance, empty, availability);
+  EXPECT_NEAR(analytic_reliability(d), (0.8 * 0.5) * 0.9, 1e-12);
+}
+
+TEST(DeploymentBridge, EmpiricalValidationOfAnAugmentedSolution) {
+  const auto scenario = test::random_scenario(95001, 6, 0.5);
+  ASSERT_TRUE(scenario.has_value());
+  const auto result = core::augment_heuristic(scenario->instance);
+  const auto d = core::make_deployment(scenario->instance, result);
+  util::Rng rng(8);
+  const auto r = inject_failures(d, {.epochs = 40000}, rng);
+  EXPECT_NEAR(r.empirical_reliability, result.achieved_reliability,
+              3.0 * r.confidence_halfwidth + 1e-9);
+}
+
+}  // namespace
+}  // namespace mecra::failsim

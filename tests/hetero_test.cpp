@@ -1,0 +1,116 @@
+// Tests for the heterogeneous-reliability greedy extension: equivalence
+// with the homogeneous model when availabilities are uniform, exactness of
+// its internal reliability accounting (cross-checked against failsim),
+// capacity feasibility, and sensible reactions to low-availability hosts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/deployment.h"
+#include "core/hetero_greedy.h"
+#include "core/ilp_exact.h"
+#include "core/validator.h"
+#include "failsim/failsim.h"
+#include "test_fixtures.h"
+
+namespace mecra::core {
+namespace {
+
+TEST(HeteroGreedy, UniformAvailabilityMatchesHomogeneousMetrics) {
+  const auto f = test::tiny_fixture();
+  const auto h = augment_hetero_greedy(f.instance);
+  EXPECT_NEAR(h.hetero_reliability, h.result.achieved_reliability, 1e-9);
+  EXPECT_NEAR(h.hetero_initial_reliability,
+              f.instance.initial_reliability, 1e-12);
+  EXPECT_TRUE(validate(f.instance, h.result).feasible);
+}
+
+TEST(HeteroGreedy, TinyFixtureReachesTheHomogeneousOptimum) {
+  // With uniform availability the greedy marginal-gain order coincides with
+  // the item-gain order, and the tiny fixture's optimum is greedily
+  // reachable (verified by hand in algorithms_test).
+  const auto f = test::tiny_fixture();
+  const auto h = augment_hetero_greedy(f.instance);
+  EXPECT_NEAR(h.hetero_reliability, 0.992 * 0.99, 1e-9);
+}
+
+TEST(HeteroGreedy, StopsAtExpectation) {
+  const auto f = test::tiny_fixture(1.0, /*expectation=*/0.95);
+  const auto h = augment_hetero_greedy(f.instance);
+  EXPECT_TRUE(h.expectation_met);
+  // Greedy stops the moment the target is crossed: removing its last
+  // placement must drop below the target.
+  ASSERT_FALSE(h.result.placements.empty());
+  auto counts = h.result.secondaries;
+  const auto last = h.result.placements.back();
+  --counts[last.chain_pos];
+  EXPECT_LT(f.instance.reliability_for_counts(counts),
+            f.instance.expectation);
+}
+
+TEST(HeteroGreedy, ReliabilityAccountingMatchesFailsimAnalytic) {
+  const auto scenario = test::random_scenario(96001, 6, 0.5);
+  ASSERT_TRUE(scenario.has_value());
+  // Availability profile over the 100 nodes, deterministic per node id.
+  std::vector<double> availability(scenario->network.num_nodes());
+  for (std::size_t v = 0; v < availability.size(); ++v) {
+    availability[v] = 0.9 + 0.1 * (static_cast<double>(v % 10) / 10.0);
+  }
+  const auto h =
+      augment_hetero_greedy(scenario->instance, availability);
+  const auto d = make_deployment(scenario->instance, h.result, availability);
+  EXPECT_NEAR(h.hetero_reliability, failsim::analytic_reliability(d), 1e-9);
+  EXPECT_TRUE(validate(scenario->instance, h.result).feasible);
+}
+
+TEST(HeteroGreedy, AvoidsLowAvailabilityCloudletWhenEquivalentExists) {
+  // Tiny fixture: function a may back up at node 1 or node 2. Crush node
+  // 2's availability; every a-backup should land on node 1.
+  const auto f = test::tiny_fixture();
+  std::vector<double> availability{1.0, 1.0, 0.05};
+  const auto h = augment_hetero_greedy(f.instance, availability);
+  for (const auto& p : h.result.placements) {
+    if (p.chain_pos == 0) {
+      EXPECT_EQ(p.cloudlet, 1u);
+    }
+  }
+}
+
+TEST(HeteroGreedy, DegradedHostsLowerAchievableReliability) {
+  const auto scenario = test::random_scenario(96002, 6, 0.5);
+  ASSERT_TRUE(scenario.has_value());
+  AugmentOptions opt;
+  const auto uniform = augment_hetero_greedy(scenario->instance, {}, opt);
+  std::vector<double> degraded(scenario->network.num_nodes(), 0.7);
+  const auto low = augment_hetero_greedy(scenario->instance, degraded, opt);
+  EXPECT_LT(low.hetero_reliability, uniform.hetero_reliability);
+}
+
+TEST(HeteroGreedy, NeverBeatsIlpUnderUniformAvailability) {
+  for (std::uint64_t seed : {96011u, 96012u, 96013u}) {
+    const auto scenario = test::random_scenario(seed, 7, 0.25);
+    ASSERT_TRUE(scenario.has_value());
+    AugmentOptions opt;
+    opt.trim_to_expectation = false;
+    const auto exact = augment_ilp(scenario->instance, opt);
+    const auto h = augment_hetero_greedy(scenario->instance, {}, opt);
+    // Greedy stops at rho; compare only when rho was not reached (both
+    // then maximize within capacity).
+    if (!h.expectation_met) {
+      EXPECT_LE(h.hetero_reliability,
+                exact.achieved_reliability + 1e-9)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(HeteroGreedy, RejectsBadAvailabilityValues) {
+  const auto f = test::tiny_fixture();
+  EXPECT_THROW((void)augment_hetero_greedy(f.instance, {1.0, 1.5, 1.0}),
+               util::CheckFailure);
+  EXPECT_THROW((void)augment_hetero_greedy(f.instance, {1.0, 0.0, 1.0}),
+               util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace mecra::core

@@ -1,0 +1,143 @@
+// End-to-end integration tests: the whole pipeline from topology generation
+// through admission, augmentation, and application back onto the network —
+// including a sequential multi-request scenario like the one the example
+// applications exercise.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+#include "core/heuristic_matching.h"
+#include "core/ilp_exact.h"
+#include "core/randomized_rounding.h"
+#include "core/validator.h"
+#include "sim/workload.h"
+#include "test_fixtures.h"
+
+namespace mecra {
+namespace {
+
+TEST(Pipeline, FullPaperShapedScenario) {
+  const auto scenario = test::random_scenario(90001, 6);
+  ASSERT_TRUE(scenario.has_value());
+
+  // Paper setting sanity: 100 APs, 10 cloudlets, connected topology.
+  EXPECT_EQ(scenario->network.num_nodes(), 100u);
+  EXPECT_EQ(scenario->network.cloudlets().size(), 10u);
+  EXPECT_TRUE(graph::is_connected(scenario->network.topology()));
+  EXPECT_EQ(scenario->request.length(), 6u);
+  EXPECT_EQ(scenario->primaries.length(), 6u);
+
+  // All three paper algorithms produce consistent, validated output.
+  const auto ilp = core::augment_ilp(scenario->instance);
+  const auto rnd = core::augment_randomized(scenario->instance);
+  const auto heu = core::augment_heuristic(scenario->instance);
+  EXPECT_TRUE(core::validate(scenario->instance, ilp).feasible);
+  EXPECT_TRUE(core::validate(scenario->instance, heu).feasible);
+  EXPECT_TRUE(core::validate(scenario->instance, rnd).hop_constraint_ok);
+}
+
+TEST(Pipeline, ApplyingHeuristicResultUpdatesNetwork) {
+  auto scenario = test::random_scenario(90002, 6, 0.5);
+  ASSERT_TRUE(scenario.has_value());
+  const auto r = core::augment_heuristic(scenario->instance);
+  const double before = scenario->network.total_residual();
+  core::apply_placements(scenario->network, scenario->instance, r);
+  double placed_demand = 0.0;
+  for (const auto& p : r.placements) {
+    placed_demand += scenario->instance.functions[p.chain_pos].demand;
+  }
+  EXPECT_NEAR(scenario->network.total_residual(), before - placed_demand,
+              1e-6);
+}
+
+TEST(Pipeline, SequentialRequestsShareCapacity) {
+  // Admit and augment several requests one after another on one network;
+  // capacity must monotonically decrease and never go negative.
+  sim::ScenarioParams params;
+  params.residual_fraction = 1.0;
+  util::Rng rng(90003);
+  auto scenario = sim::make_scenario(params, rng);
+  ASSERT_TRUE(scenario.has_value());
+
+  auto network = scenario->network;
+  const auto catalog = scenario->catalog;
+  double last_residual = network.total_residual();
+  std::size_t admitted = 0;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    util::Rng req_rng = rng.child(i);
+    mec::RequestParams rp;
+    const auto request = mec::random_request(i, catalog,
+                                             network.num_nodes(), rp, req_rng);
+    auto primaries =
+        admission::random_admission(network, catalog, request, req_rng);
+    if (!primaries.has_value()) break;
+    const auto inst = core::build_bmcgap(network, catalog, request,
+                                         *primaries, {});
+    const auto r = core::augment_heuristic(inst);
+    EXPECT_TRUE(core::validate(inst, r).feasible);
+    core::apply_placements(network, inst, r);
+    ++admitted;
+
+    const double now = network.total_residual();
+    EXPECT_LE(now, last_residual + 1e-9);
+    last_residual = now;
+    for (graph::NodeId v : network.cloudlets()) {
+      EXPECT_GE(network.residual(v), -1e-9);
+    }
+  }
+  EXPECT_GT(admitted, 0u);
+}
+
+TEST(Pipeline, RandomizedViolationsAreVisibleOnTheNetwork) {
+  auto scenario = test::random_scenario(90004, 10, 0.2);
+  ASSERT_TRUE(scenario.has_value());
+  core::AugmentOptions opt;
+  opt.seed = 90004;
+  const auto r = core::augment_randomized(scenario->instance, opt);
+  // Applying needs the violation flag if and only if max usage exceeds 1.
+  if (r.max_usage > 1.0 + 1e-9) {
+    auto net = scenario->network;
+    EXPECT_THROW(core::apply_placements(net, scenario->instance, r),
+                 util::CheckFailure);
+  }
+  auto net2 = scenario->network;
+  core::apply_placements(net2, scenario->instance, r,
+                         /*allow_violation=*/true);
+}
+
+TEST(Pipeline, DagAdmissionVariantWorksEndToEnd) {
+  sim::ScenarioParams params;
+  params.dag_admission = true;
+  util::Rng rng(90005);
+  const auto scenario = sim::make_scenario(params, rng);
+  ASSERT_TRUE(scenario.has_value());
+  const auto r = core::augment_heuristic(scenario->instance);
+  EXPECT_TRUE(core::validate(scenario->instance, r).feasible);
+}
+
+TEST(Pipeline, ExtremeScarcityDegradesGracefully) {
+  // At 1/16 residual the builder may produce zero items; everything must
+  // still run and report the admission reliability unchanged.
+  const auto scenario = test::random_scenario(90006, 8, 1.0 / 16.0);
+  if (!scenario.has_value()) GTEST_SKIP() << "admission failed everywhere";
+  const auto ilp = core::augment_ilp(scenario->instance);
+  const auto heu = core::augment_heuristic(scenario->instance);
+  EXPECT_GE(ilp.achieved_reliability,
+            scenario->instance.initial_reliability - 1e-12);
+  EXPECT_GE(heu.achieved_reliability,
+            scenario->instance.initial_reliability - 1e-12);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto a = test::random_scenario(90007, 5);
+  const auto b = test::random_scenario(90007, 5);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->request.chain, b->request.chain);
+  EXPECT_EQ(a->primaries.cloudlet_of, b->primaries.cloudlet_of);
+  const auto ra = core::augment_heuristic(a->instance);
+  const auto rb = core::augment_heuristic(b->instance);
+  EXPECT_EQ(ra.placements, rb.placements);
+}
+
+}  // namespace
+}  // namespace mecra

@@ -1,0 +1,170 @@
+// Tests for the dependency-free JSON layer: parsing, serialization,
+// round-trips, escapes, numbers, and error reporting.
+#include <gtest/gtest.h>
+
+#include "io/json.h"
+
+namespace mecra::io {
+namespace {
+
+// ---------------------------------------------------------------- values
+
+TEST(Json, ScalarTypesAndAccessors) {
+  EXPECT_TRUE(Json(nullptr).is_null());
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_FALSE(Json(false).as_bool());
+  EXPECT_DOUBLE_EQ(Json(2.5).as_double(), 2.5);
+  EXPECT_EQ(Json(42).as_int(), 42);
+  EXPECT_EQ(Json(std::string("hi")).as_string(), "hi");
+  EXPECT_EQ(Json("chars").as_string(), "chars");
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW((void)Json(1.5).as_string(), util::CheckFailure);
+  EXPECT_THROW((void)Json("x").as_double(), util::CheckFailure);
+  EXPECT_THROW((void)Json(1.5).as_int(), util::CheckFailure);  // not integral
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonObject obj;
+  obj.set("zulu", Json(1));
+  obj.set("alpha", Json(2));
+  obj.set("mike", Json(3));
+  EXPECT_EQ(obj.keys(), (std::vector<std::string>{"zulu", "alpha", "mike"}));
+  obj.set("alpha", Json(9));  // overwrite keeps position
+  EXPECT_EQ(obj.keys().size(), 3u);
+  EXPECT_EQ(obj.at("alpha").as_int(), 9);
+  EXPECT_FALSE(obj.contains("nope"));
+  EXPECT_THROW((void)obj.at("nope"), util::CheckFailure);
+}
+
+// ------------------------------------------------------------------ dump
+
+TEST(Json, CompactDump) {
+  JsonObject obj;
+  obj.set("a", Json(1));
+  JsonArray arr;
+  arr.emplace_back(true);
+  arr.emplace_back(nullptr);
+  obj.set("b", Json(std::move(arr)));
+  EXPECT_EQ(Json(std::move(obj)).dump(), R"({"a":1,"b":[true,null]})");
+}
+
+TEST(Json, PrettyDumpIndents) {
+  JsonObject obj;
+  obj.set("k", Json(1));
+  const std::string out = Json(std::move(obj)).dump(2);
+  EXPECT_NE(out.find("{\n  \"k\": 1\n}"), std::string::npos);
+}
+
+TEST(Json, DumpEscapesSpecials) {
+  EXPECT_EQ(Json("a\"b\\c\nd\te").dump(), R"("a\"b\\c\nd\te")");
+  EXPECT_EQ(Json(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, NumbersDumpCleanly) {
+  EXPECT_EQ(Json(3).dump(), "3");
+  EXPECT_EQ(Json(-17).dump(), "-17");
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+  EXPECT_EQ(Json(1e100).dump(), "1e+100");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json(JsonArray{}).dump(2), "[]");
+  EXPECT_EQ(Json(JsonObject{}).dump(2), "{}");
+}
+
+// ----------------------------------------------------------------- parse
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse(" false ").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-2.75e2").as_double(), -275.0);
+  EXPECT_EQ(Json::parse(R"("text")").as_string(), "text");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const auto v = Json::parse(R"({"a": [1, {"b": "c"}, null], "d": true})");
+  const auto& obj = v.as_object();
+  const auto& arr = obj.at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[0].as_int(), 1);
+  EXPECT_EQ(arr[1].as_object().at("b").as_string(), "c");
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_TRUE(obj.at("d").as_bool());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"\\\n\tA")").as_string(), "a\"\\\n\tA");
+  // Unicode escape beyond ASCII becomes UTF-8.
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW((void)Json::parse(""), util::CheckFailure);
+  EXPECT_THROW((void)Json::parse("{"), util::CheckFailure);
+  EXPECT_THROW((void)Json::parse("[1,]"), util::CheckFailure);
+  EXPECT_THROW((void)Json::parse("tru"), util::CheckFailure);
+  EXPECT_THROW((void)Json::parse("1 2"), util::CheckFailure);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), util::CheckFailure);
+  EXPECT_THROW((void)Json::parse("{\"a\" 1}"), util::CheckFailure);
+  EXPECT_THROW((void)Json::parse("nan"), util::CheckFailure);
+}
+
+TEST(JsonParse, ErrorsCarryOffsets) {
+  try {
+    (void)Json::parse("[1, oops]");
+    FAIL();
+  } catch (const util::CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------ round trip
+
+TEST(Json, RoundTripPreservesStructureAndValues) {
+  JsonObject inner;
+  inner.set("pi", Json(3.141592653589793));
+  inner.set("name", Json("mecra \"quoted\" \n"));
+  JsonArray arr;
+  arr.emplace_back(std::move(inner));
+  arr.emplace_back(false);
+  arr.emplace_back(-1234567);
+  JsonObject root;
+  root.set("payload", Json(std::move(arr)));
+  root.set("version", Json(1));
+
+  const Json original(std::move(root));
+  for (int indent : {-1, 0, 2, 4}) {
+    const Json reparsed = Json::parse(original.dump(indent));
+    EXPECT_EQ(reparsed.dump(), original.dump()) << "indent " << indent;
+    EXPECT_DOUBLE_EQ(
+        reparsed.as_object().at("payload").as_array()[0].as_object()
+            .at("pi").as_double(),
+        3.141592653589793);
+  }
+}
+
+}  // namespace
+}  // namespace mecra::io
+
+// Appended: deep nesting survives parse/dump cycles.
+namespace mecra::io {
+namespace {
+
+TEST(Json, DeepNestingRoundTrips) {
+  std::string text = "1";
+  for (int i = 0; i < 60; ++i) text = "[" + text + "]";
+  const Json v = Json::parse(text);
+  EXPECT_EQ(v.dump(), text);
+  const Json* cur = &v;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(cur->is_array());
+    cur = &cur->as_array()[0];
+  }
+  EXPECT_EQ(cur->as_int(), 1);
+}
+
+}  // namespace
+}  // namespace mecra::io

@@ -1,0 +1,372 @@
+// Tests for the LP model builder and the bounded-variable two-phase simplex.
+//
+// Beyond textbook cases, the key property test certifies optimality on
+// random LPs via the KKT conditions: the returned duals must make every
+// reduced cost consistent with its variable's bound status, and binding/
+// slack rows must satisfy complementary slackness. A point passing the
+// certificate IS optimal, so these tests do not rely on a reference solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace mecra::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+Solution solve(const Model& m) { return SimplexSolver().solve(m); }
+
+// ----------------------------------------------------------------- Model
+
+TEST(Model, MergesDuplicateTermsAndDropsZeros) {
+  Model m;
+  const VarId x = m.add_variable(0, 10, 1);
+  const VarId y = m.add_variable(0, 10, 1);
+  m.add_constraint({{x, 1.0}, {x, 2.0}, {y, 0.0}}, Relation::kLessEqual, 5.0);
+  const auto& c = m.constraint(0);
+  ASSERT_EQ(c.terms.size(), 1u);
+  EXPECT_EQ(c.terms[0].var, x);
+  EXPECT_DOUBLE_EQ(c.terms[0].coeff, 3.0);
+}
+
+TEST(Model, RejectsBadInputs) {
+  Model m;
+  EXPECT_THROW((void)m.add_variable(1.0, 0.0, 0.0), util::CheckFailure);
+  EXPECT_THROW((void)m.add_variable(-kInfinity, 0.0, 0.0),
+               util::CheckFailure);
+  const VarId x = m.add_variable(0, 1, 1);
+  EXPECT_THROW(m.add_constraint({{x + 1, 1.0}}, Relation::kLessEqual, 1.0),
+               util::CheckFailure);
+}
+
+TEST(Model, ObjectiveAndViolationEvaluation) {
+  Model m;
+  const VarId x = m.add_variable(0, 2, 3);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 1.0);
+  EXPECT_DOUBLE_EQ(m.objective_value({2.0}), 6.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({2.0}), 1.0);   // row violated by 1
+  EXPECT_DOUBLE_EQ(m.max_violation({0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({-1.0}), 1.0);  // below the lower bound
+}
+
+// ---------------------------------------------------------- basic solves
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  ->  (2, 6), z = 36.
+  Model m(Sense::kMaximize);
+  const VarId x = m.add_variable(0, kInfinity, 3);
+  const VarId y = m.add_variable(0, kInfinity, 5);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 36.0, kTol);
+  EXPECT_NEAR(s.x[x], 2.0, kTol);
+  EXPECT_NEAR(s.x[y], 6.0, kTol);
+}
+
+TEST(Simplex, MinimizationWithGreaterEqual) {
+  // min 2x + 3y st x + y >= 4, x >= 0, y >= 0 -> x = 4, z = 8.
+  Model m;
+  const VarId x = m.add_variable(0, kInfinity, 2);
+  const VarId y = m.add_variable(0, kInfinity, 3);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 4.0);
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 8.0, kTol);
+  EXPECT_NEAR(s.x[x], 4.0, kTol);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y st x + 2y == 3, bounds [0, 5] -> y = 1.5, z = 1.5.
+  Model m;
+  const VarId x = m.add_variable(0, 5, 1);
+  const VarId y = m.add_variable(0, 5, 1);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kEqual, 3.0);
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 1.5, kTol);
+  EXPECT_NEAR(s.x[y], 1.5, kTol);
+}
+
+TEST(Simplex, VariableUpperBoundsBindWithoutRows) {
+  // max x + y with x <= 1.5, y <= 2.5 and a joint row x + y <= 3.
+  Model m(Sense::kMaximize);
+  const VarId x = m.add_variable(0, 1.5, 1);
+  const VarId y = m.add_variable(0, 2.5, 1);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 3.0);
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 3.0, kTol);
+}
+
+TEST(Simplex, PureBoundFlipNoConstraints) {
+  // max 2x on x in [0, 7] with no rows at all.
+  Model m(Sense::kMaximize);
+  const VarId x = m.add_variable(0, 7, 2);
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[x], 7.0, kTol);
+  EXPECT_NEAR(s.objective, 14.0, kTol);
+}
+
+TEST(Simplex, NonzeroLowerBoundsAreShifted) {
+  // min x + y with x in [2, 10], y in [3, 10], x + y >= 6 -> (2, 4) or
+  // (3, 3): z = 6 hits the row, but lower bounds force z >= 5; optimum 6.
+  Model m;
+  const VarId x = m.add_variable(2, 10, 1);
+  const VarId y = m.add_variable(3, 10, 1);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 6.0);
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 6.0, kTol);
+  EXPECT_GE(s.x[x], 2.0 - kTol);
+  EXPECT_GE(s.x[y], 3.0 - kTol);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x on x in [-5, 5] with x >= -3  ->  x = -3.
+  Model m;
+  const VarId x = m.add_variable(-5, 5, 1);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, -3.0);
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[x], -3.0, kTol);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min y st -x - y <= -4 (i.e. x + y >= 4), x <= 3 -> y = 1.
+  Model m;
+  const VarId x = m.add_variable(0, 3, 0);
+  const VarId y = m.add_variable(0, kInfinity, 1);
+  m.add_constraint({{x, -1.0}, {y, -1.0}}, Relation::kLessEqual, -4.0);
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 1.0, kTol);
+}
+
+// ------------------------------------------------------------ edge cases
+
+TEST(Simplex, InfeasibleByRows) {
+  Model m;
+  const VarId x = m.add_variable(0, 10, 1);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 5.0);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 3.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, InfeasibleByBoundsVsRow) {
+  Model m;
+  const VarId x = m.add_variable(0, 1, 1);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedMaximization) {
+  Model m(Sense::kMaximize);
+  (void)m.add_variable(0, kInfinity, 1);
+  EXPECT_EQ(solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, UnboundedDetectedThroughRows) {
+  // max x - y st x - y <= 2 ... x can run away along x = y + 2.
+  Model m(Sense::kMaximize);
+  const VarId x = m.add_variable(0, kInfinity, 1);
+  const VarId y = m.add_variable(0, kInfinity, -0.5);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kLessEqual, 2.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, EmptyModelIsTriviallyOptimal) {
+  Model m;
+  const auto s = solve(m);
+  EXPECT_TRUE(s.optimal());
+  EXPECT_EQ(s.objective, 0.0);
+}
+
+TEST(Simplex, FixedVariablesViaEqualBounds) {
+  Model m;
+  const VarId x = m.add_variable(3, 3, 1);
+  const VarId y = m.add_variable(0, 10, 1);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 5.0);
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[x], 3.0, kTol);
+  EXPECT_NEAR(s.x[y], 2.0, kTol);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex (classic
+  // degeneracy); Bland's fallback must prevent cycling.
+  Model m(Sense::kMaximize);
+  const VarId x = m.add_variable(0, kInfinity, 1);
+  const VarId y = m.add_variable(0, kInfinity, 1);
+  for (double k : {1.0, 2.0, 3.0}) {
+    m.add_constraint({{x, k}, {y, k}}, Relation::kLessEqual, 4.0 * k);
+  }
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 4.0, kTol);
+}
+
+TEST(Simplex, IterationLimitReported) {
+  Model m(Sense::kMaximize);
+  const VarId x = m.add_variable(0, 10, 1);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 5.0);
+  SimplexOptions opts;
+  opts.max_iterations = 1;  // absurdly small
+  // Either it solves within one pivot or reports the limit — never hangs.
+  const auto s = SimplexSolver(opts).solve(m);
+  EXPECT_TRUE(s.status == SolveStatus::kOptimal ||
+              s.status == SolveStatus::kIterationLimit);
+}
+
+// ----------------------------------------------------------------- duals
+
+TEST(Simplex, DualsOfTextbookProblem) {
+  // max 3x + 5y (above): binding rows 2 and 3 with shadow prices 3/2, 1.
+  Model m(Sense::kMaximize);
+  const VarId x = m.add_variable(0, kInfinity, 3);
+  const VarId y = m.add_variable(0, kInfinity, 5);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.duals[0], 0.0, kTol);  // slack row
+  EXPECT_NEAR(s.duals[1], 1.5, kTol);
+  EXPECT_NEAR(s.duals[2], 1.0, kTol);
+  // Strong duality: b'y equals the primal objective here (bounds at 0).
+  EXPECT_NEAR(4 * s.duals[0] + 12 * s.duals[1] + 18 * s.duals[2],
+              s.objective, kTol);
+}
+
+// ------------------------------------------- randomized KKT certification
+
+struct KktParams {
+  std::uint64_t seed;
+  std::size_t vars;
+  std::size_t rows;
+};
+
+class SimplexKkt : public ::testing::TestWithParam<KktParams> {};
+
+TEST_P(SimplexKkt, RandomLpPassesOptimalityCertificate) {
+  const auto [seed, nv, nr] = GetParam();
+  util::Rng rng(seed);
+
+  Model m(rng.bernoulli(0.5) ? Sense::kMinimize : Sense::kMaximize);
+  std::vector<double> interior;  // a feasible point by construction
+  for (std::size_t v = 0; v < nv; ++v) {
+    const double lo = rng.uniform(-2.0, 1.0);
+    const double hi = lo + rng.uniform(0.5, 4.0);
+    (void)m.add_variable(lo, hi, rng.uniform(-3.0, 3.0));
+    interior.push_back(lo + 0.5 * (hi - lo));
+  }
+  for (std::size_t r = 0; r < nr; ++r) {
+    std::vector<Term> terms;
+    double lhs_at_interior = 0.0;
+    for (std::size_t v = 0; v < nv; ++v) {
+      if (rng.bernoulli(0.7)) {
+        const double coeff = rng.uniform(-2.0, 3.0);
+        terms.push_back({static_cast<VarId>(v), coeff});
+        lhs_at_interior += coeff * interior[v];
+      }
+    }
+    if (terms.empty()) continue;
+    // Pick the relation and rhs so the interior point stays feasible.
+    const double roll = rng.uniform01();
+    if (roll < 0.4) {
+      m.add_constraint(std::move(terms), Relation::kLessEqual,
+                       lhs_at_interior + rng.uniform(0.0, 2.0));
+    } else if (roll < 0.8) {
+      m.add_constraint(std::move(terms), Relation::kGreaterEqual,
+                       lhs_at_interior - rng.uniform(0.0, 2.0));
+    } else {
+      m.add_constraint(std::move(terms), Relation::kEqual, lhs_at_interior);
+    }
+  }
+
+  const auto s = solve(m);
+  ASSERT_TRUE(s.optimal()) << to_string(s.status);
+
+  // Primal feasibility.
+  EXPECT_LE(m.max_violation(s.x), 1e-6);
+  // The solver can only improve on the interior point.
+  const double interior_obj = m.objective_value(interior);
+  if (m.sense() == Sense::kMinimize) {
+    EXPECT_LE(s.objective, interior_obj + 1e-6);
+  } else {
+    EXPECT_GE(s.objective, interior_obj - 1e-6);
+  }
+
+  // KKT certificate in minimization form (flip once for maximize).
+  const double flip = m.sense() == Sense::kMaximize ? -1.0 : 1.0;
+  std::vector<double> reduced(nv);
+  for (std::size_t v = 0; v < nv; ++v) {
+    reduced[v] = flip * m.variable(static_cast<VarId>(v)).objective;
+  }
+  for (std::size_t r = 0; r < m.num_constraints(); ++r) {
+    const auto& c = m.constraint(static_cast<RowId>(r));
+    const double y = flip * s.duals[r];
+    double lhs = 0.0;
+    for (const Term& t : c.terms) {
+      reduced[t.var] -= y * t.coeff;
+      lhs += t.coeff * s.x[t.var];
+    }
+    // Dual feasibility: <= rows need y <= 0, >= rows y >= 0 (min form).
+    if (c.relation == Relation::kLessEqual) {
+      EXPECT_LE(y, kTol);
+    }
+    if (c.relation == Relation::kGreaterEqual) {
+      EXPECT_GE(y, -kTol);
+    }
+    // Complementary slackness.
+    if (c.relation != Relation::kEqual) {
+      const double slack = std::abs(lhs - c.rhs);
+      if (slack > 1e-5) {
+        EXPECT_NEAR(y, 0.0, kTol) << "row " << r;
+      }
+    }
+  }
+  for (std::size_t v = 0; v < nv; ++v) {
+    const auto& var = m.variable(static_cast<VarId>(v));
+    const bool at_lower = s.x[v] <= var.lower + 1e-6;
+    const bool at_upper =
+        var.upper != kInfinity && s.x[v] >= var.upper - 1e-6;
+    if (at_lower && !at_upper) {
+      EXPECT_GE(reduced[v], -kTol) << "var " << v;
+    } else if (at_upper && !at_lower) {
+      EXPECT_LE(reduced[v], kTol) << "var " << v;
+    } else if (!at_lower && !at_upper) {
+      EXPECT_NEAR(reduced[v], 0.0, kTol) << "var " << v;
+    }
+  }
+}
+
+std::vector<KktParams> kkt_cases() {
+  std::vector<KktParams> cases;
+  std::uint64_t seed = 1000;
+  for (std::size_t nv : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    for (std::size_t nr : {0u, 1u, 3u, 6u, 10u}) {
+      cases.push_back({seed++, nv, nr});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomLps, SimplexKkt, ::testing::ValuesIn(kkt_cases()),
+    [](const ::testing::TestParamInfo<KktParams>& tpi) {
+      return "seed" + std::to_string(tpi.param.seed) + "_v" +
+             std::to_string(tpi.param.vars) + "_r" +
+             std::to_string(tpi.param.rows);
+    });
+
+}  // namespace
+}  // namespace mecra::lp

@@ -1,0 +1,276 @@
+// Tests for the MEC domain model: VNF catalog, network capacity tracking,
+// request generation, and the reliability algebra of Eqs. (1)-(4) including
+// the Lemma 4.1 monotonicity properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/topology.h"
+#include "mec/network.h"
+#include "mec/reliability.h"
+#include "mec/request.h"
+#include "mec/vnf.h"
+#include "util/rng.h"
+
+namespace mecra::mec {
+namespace {
+
+// ------------------------------------------------------------------- vnf
+
+TEST(VnfCatalog, AssignsDenseIds) {
+  VnfCatalog cat({{0, "nat", 0.9, 200}, {0, "fw", 0.8, 300}});
+  EXPECT_EQ(cat.size(), 2u);
+  EXPECT_EQ(cat.function(0).id, 0u);
+  EXPECT_EQ(cat.function(1).id, 1u);
+  EXPECT_EQ(cat.function(1).name, "fw");
+}
+
+TEST(VnfCatalog, RejectsInvalidFunctions) {
+  EXPECT_THROW(VnfCatalog({{0, "bad", 0.0, 200}}), util::CheckFailure);
+  EXPECT_THROW(VnfCatalog({{0, "bad", 1.5, 200}}), util::CheckFailure);
+  EXPECT_THROW(VnfCatalog({{0, "bad", 0.9, 0}}), util::CheckFailure);
+}
+
+TEST(VnfCatalog, MinDemand) {
+  VnfCatalog cat({{0, "a", 0.9, 250}, {0, "b", 0.9, 199}, {0, "c", 0.9, 300}});
+  EXPECT_DOUBLE_EQ(cat.min_demand(), 199.0);
+}
+
+TEST(VnfCatalog, RandomRespectsRanges) {
+  util::Rng rng(3);
+  VnfCatalog::RandomParams p;  // paper defaults: 30 fns, r in [.8,.9]
+  const auto cat = VnfCatalog::random(p, rng);
+  EXPECT_EQ(cat.size(), 30u);
+  for (const auto& f : cat.functions()) {
+    EXPECT_GE(f.reliability, 0.8);
+    EXPECT_LE(f.reliability, 0.9);
+    EXPECT_GE(f.cpu_demand, 200.0);
+    EXPECT_LE(f.cpu_demand, 400.0);
+  }
+}
+
+TEST(VnfCatalog, RandomWithDegenerateRanges) {
+  util::Rng rng(3);
+  VnfCatalog::RandomParams p;
+  p.reliability_low = p.reliability_high = 0.85;
+  p.demand_low = p.demand_high = 256.0;
+  const auto cat = VnfCatalog::random(p, rng);
+  for (const auto& f : cat.functions()) {
+    EXPECT_DOUBLE_EQ(f.reliability, 0.85);
+    EXPECT_DOUBLE_EQ(f.cpu_demand, 256.0);
+  }
+}
+
+// --------------------------------------------------------------- network
+
+MecNetwork tiny_network() {
+  // Path 0-1-2-3; cloudlets at 1 (1000) and 3 (2000).
+  graph::Graph g = graph::path_graph(4);
+  return MecNetwork(std::move(g), {0.0, 1000.0, 0.0, 2000.0});
+}
+
+TEST(MecNetwork, CloudletDetection) {
+  const auto net = tiny_network();
+  EXPECT_FALSE(net.is_cloudlet(0));
+  EXPECT_TRUE(net.is_cloudlet(1));
+  EXPECT_EQ(net.cloudlets(), (std::vector<graph::NodeId>{1, 3}));
+  EXPECT_DOUBLE_EQ(net.total_capacity(), 3000.0);
+}
+
+TEST(MecNetwork, ConsumeAndRelease) {
+  auto net = tiny_network();
+  net.consume(1, 400.0);
+  EXPECT_DOUBLE_EQ(net.residual(1), 600.0);
+  EXPECT_DOUBLE_EQ(net.used(1), 400.0);
+  EXPECT_DOUBLE_EQ(net.usage_ratio(1), 0.4);
+  net.release(1, 400.0);
+  EXPECT_DOUBLE_EQ(net.residual(1), 1000.0);
+}
+
+TEST(MecNetwork, OverconsumptionIsRejectedUnlessAllowed) {
+  auto net = tiny_network();
+  EXPECT_THROW(net.consume(1, 1200.0), util::CheckFailure);
+  net.consume(1, 1200.0, /*allow_violation=*/true);
+  EXPECT_LT(net.residual(1), 0.0);
+  EXPECT_GT(net.usage_ratio(1), 1.0);
+}
+
+TEST(MecNetwork, OverReleaseIsRejected) {
+  auto net = tiny_network();
+  EXPECT_THROW(net.release(1, 1.0), util::CheckFailure);
+}
+
+TEST(MecNetwork, ResidualFraction) {
+  auto net = tiny_network();
+  net.set_residual_fraction(0.25);
+  EXPECT_DOUBLE_EQ(net.residual(1), 250.0);
+  EXPECT_DOUBLE_EQ(net.residual(3), 500.0);
+  EXPECT_DOUBLE_EQ(net.total_residual(), 750.0);
+}
+
+TEST(MecNetwork, CloudletsWithinHops) {
+  const auto net = tiny_network();
+  // From node 2: 1 and 3 are both one hop away.
+  EXPECT_EQ(net.cloudlets_within(2, 1), (std::vector<graph::NodeId>{1, 3}));
+  // From node 0: only cloudlet 1 within one hop; 3 needs three hops.
+  EXPECT_EQ(net.cloudlets_within(0, 1), (std::vector<graph::NodeId>{1}));
+  EXPECT_EQ(net.cloudlets_within(0, 3), (std::vector<graph::NodeId>{1, 3}));
+  // A cloudlet includes itself (N_l^+ semantics).
+  EXPECT_EQ(net.cloudlets_within(1, 1), (std::vector<graph::NodeId>{1}));
+}
+
+TEST(MecNetwork, RandomPlacesRequestedFraction) {
+  util::Rng rng(5);
+  graph::Graph g = graph::complete_graph(100);
+  const auto net = MecNetwork::random(std::move(g), {}, rng);
+  EXPECT_EQ(net.cloudlets().size(), 10u);  // paper: 10% of 100 APs
+  for (graph::NodeId v : net.cloudlets()) {
+    EXPECT_GE(net.capacity(v), 4000.0);
+    EXPECT_LE(net.capacity(v), 8000.0);
+  }
+}
+
+TEST(MecNetwork, RandomHonorsMinCloudlets) {
+  util::Rng rng(5);
+  MecNetwork::RandomParams p;
+  p.cloudlet_fraction = 0.0;
+  p.min_cloudlets = 2;
+  const auto net =
+      MecNetwork::random(graph::complete_graph(10), p, rng);
+  EXPECT_EQ(net.cloudlets().size(), 2u);
+}
+
+// --------------------------------------------------------------- request
+
+TEST(Request, RandomChainLengthInRange) {
+  util::Rng rng(7);
+  VnfCatalog::RandomParams cp;
+  const auto cat = VnfCatalog::random(cp, rng);
+  RequestParams p;  // paper: [3, 10]
+  for (int i = 0; i < 50; ++i) {
+    const auto req = random_request(static_cast<RequestId>(i), cat, 100, p, rng);
+    EXPECT_GE(req.length(), 3u);
+    EXPECT_LE(req.length(), 10u);
+    EXPECT_LT(req.source, 100u);
+    EXPECT_LT(req.destination, 100u);
+    for (FunctionId f : req.chain) EXPECT_LT(f, cat.size());
+  }
+}
+
+TEST(Request, DistinctFunctionsWhenPossible) {
+  util::Rng rng(7);
+  const auto cat = VnfCatalog::random({}, rng);
+  RequestParams p;
+  p.chain_length_low = p.chain_length_high = 10;
+  const auto req = random_request(0, cat, 10, p, rng);
+  std::set<FunctionId> uniq(req.chain.begin(), req.chain.end());
+  EXPECT_EQ(uniq.size(), req.length());
+}
+
+TEST(Request, RepetitionAllowedWhenCatalogTooSmall) {
+  util::Rng rng(7);
+  VnfCatalog cat({{0, "only", 0.9, 200}});
+  RequestParams p;
+  p.chain_length_low = p.chain_length_high = 4;
+  const auto req = random_request(0, cat, 10, p, rng);
+  EXPECT_EQ(req.length(), 4u);
+  for (FunctionId f : req.chain) EXPECT_EQ(f, 0u);
+}
+
+// ------------------------------------------------------------ reliability
+
+TEST(Reliability, SingleInstanceIsItsOwnReliability) {
+  EXPECT_DOUBLE_EQ(function_reliability(0.8, 1), 0.8);
+  EXPECT_DOUBLE_EQ(reliability_with_secondaries(0.8, 0), 0.8);
+}
+
+TEST(Reliability, ParallelInstancesFollowEq1) {
+  // 1 - (1 - 0.8)^2 = 0.96; with three: 0.992.
+  EXPECT_NEAR(function_reliability(0.8, 2), 0.96, 1e-12);
+  EXPECT_NEAR(function_reliability(0.8, 3), 0.992, 1e-12);
+  EXPECT_DOUBLE_EQ(function_reliability(0.8, 0), 0.0);
+}
+
+TEST(Reliability, PerfectInstanceSaturates) {
+  EXPECT_DOUBLE_EQ(function_reliability(1.0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(function_reliability(1.0, 5), 1.0);
+}
+
+TEST(Reliability, ChainIsProduct) {
+  const std::vector<double> rel{0.9, 0.8, 0.5};
+  EXPECT_NEAR(chain_reliability(rel), 0.36, 1e-12);
+  const std::vector<double> r{0.8, 0.9};
+  const std::vector<std::uint32_t> n{2, 1};
+  EXPECT_NEAR(chain_reliability(r, n), 0.96 * 0.9, 1e-12);
+}
+
+TEST(Reliability, ItemCostMatchesEq3ClosedForm) {
+  const double r = 0.8;
+  // c(f, k) = -ln(r (1-r)^k).
+  EXPECT_NEAR(item_cost(r, 0), -std::log(0.8), 1e-12);
+  EXPECT_NEAR(item_cost(r, 2), -std::log(0.8 * 0.2 * 0.2), 1e-12);
+  // And equals -ln(R(k) - R(k-1)) as printed in the paper.
+  const double diff = reliability_with_secondaries(r, 2) -
+                      reliability_with_secondaries(r, 1);
+  EXPECT_NEAR(item_cost(r, 2), -std::log(diff), 1e-12);
+}
+
+TEST(Reliability, Lemma41CostsPositiveAndIncreasing) {
+  for (double r : {0.55, 0.7, 0.85, 0.95}) {
+    double prev = item_cost(r, 0);
+    EXPECT_GT(prev, 0.0);
+    for (std::uint32_t k = 1; k <= 10; ++k) {
+      const double cur = item_cost(r, k);
+      EXPECT_GT(cur, prev) << "r=" << r << " k=" << k;
+      // Ineq. (16): consecutive difference is exactly ln(1/(1-r)).
+      EXPECT_NEAR(cur - prev, std::log(1.0 / (1.0 - r)), 1e-9);
+      prev = cur;
+    }
+  }
+}
+
+TEST(Reliability, MarginalGainsPositiveAndDecreasing) {
+  for (double r : {0.55, 0.7, 0.85, 0.95}) {
+    double prev = marginal_gain(r, 1);
+    EXPECT_GT(prev, 0.0);
+    for (std::uint32_t k = 2; k <= 10; ++k) {
+      const double cur = marginal_gain(r, k);
+      EXPECT_GT(cur, 0.0);
+      EXPECT_LT(cur, prev) << "r=" << r << " k=" << k;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Reliability, GainsTelescopeToNegLogR) {
+  // Sum of gains 1..k == ln R(k) - ln R(0); so -ln R(k) = -ln r - sum.
+  const double r = 0.75;
+  double sum = 0.0;
+  for (std::uint32_t k = 1; k <= 6; ++k) sum += marginal_gain(r, k);
+  EXPECT_NEAR(-std::log(reliability_with_secondaries(r, 6)),
+              -std::log(r) - sum, 1e-12);
+}
+
+TEST(Reliability, PerfectReliabilityEdgeCases) {
+  EXPECT_EQ(marginal_gain(1.0, 1), 0.0);
+  EXPECT_TRUE(std::isinf(item_cost(1.0, 1)));
+  EXPECT_EQ(useful_secondary_cap(1.0), 0u);
+}
+
+TEST(Reliability, UsefulSecondaryCapShrinksWithReliability) {
+  const auto lo = useful_secondary_cap(0.6, 1e-12, 64);
+  const auto hi = useful_secondary_cap(0.99, 1e-12, 64);
+  EXPECT_GT(lo, hi);
+  EXPECT_GT(hi, 0u);
+  // Beyond the cap the gain really is negligible.
+  EXPECT_LT(marginal_gain(0.6, lo + 1), 1e-12);
+  EXPECT_GE(marginal_gain(0.6, lo), 1e-12);
+}
+
+TEST(Reliability, HardCapIsRespected) {
+  EXPECT_LE(useful_secondary_cap(0.5000001, 1e-300, 16), 16u);
+}
+
+}  // namespace
+}  // namespace mecra::mec

@@ -1,0 +1,230 @@
+// Empirical validation of DESIGN.md Section 4: the reconciliation between
+// the paper's printed ILP (Eqs. 5-13) and the implemented formulation.
+//
+// Claims validated here:
+//  (1) literally MINIMIZING the positive Eq. (3) costs places nothing —
+//      the printed objective cannot be what the authors ran;
+//  (2) the "pack as many items as possible, then minimize cost" reading
+//      of the BMCGAP definition selects, for its item count, exactly the
+//      cheapest (lowest-k) items — i.e. per-function prefixes, consistent
+//      with Lemma 4.2 and with the gain-maximizing formulation;
+//  (3) maximizing item COUNT is nevertheless not the same objective as
+//      maximizing RELIABILITY: count-max prefers many small-demand items,
+//      and the gain-max optimum achieves at least its reliability;
+//  (4) Eq. (3) costs and the marginal gains order items identically within
+//      a function (cheapest item <=> largest gain), which is why Algorithm
+//      2 can use the printed costs unchanged.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ilp_exact.h"
+#include "ilp/branch_and_bound.h"
+#include "test_fixtures.h"
+
+namespace mecra::core {
+namespace {
+
+/// Paper-literal objective: minimize the sum of Eq. (3) costs of PLACED
+/// items, subject to (8), (9). (The budget row (6) is vacuous for a
+/// minimization of positive costs.)
+lp::Model literal_min_cost_model(const BmcgapInstance& inst,
+                                 std::vector<std::vector<lp::VarId>>& var_of) {
+  lp::Model m;  // minimize
+  var_of.assign(inst.num_items(), {});
+  for (std::size_t idx = 0; idx < inst.num_items(); ++idx) {
+    const auto& item = inst.items[idx];
+    const auto& fn = inst.functions[item.chain_pos];
+    for (std::size_t a = 0; a < fn.allowed.size(); ++a) {
+      var_of[idx].push_back(m.add_unit_variable(inst.item_cost(item)));
+    }
+  }
+  for (std::size_t idx = 0; idx < inst.num_items(); ++idx) {
+    std::vector<lp::Term> terms;
+    for (lp::VarId v : var_of[idx]) terms.push_back({v, 1.0});
+    m.add_constraint(std::move(terms), lp::Relation::kLessEqual, 1.0);
+  }
+  for (std::size_t c = 0; c < inst.cloudlets.size(); ++c) {
+    std::vector<lp::Term> terms;
+    for (std::size_t idx = 0; idx < inst.num_items(); ++idx) {
+      const auto& fn = inst.functions[inst.items[idx].chain_pos];
+      for (std::size_t a = 0; a < fn.allowed.size(); ++a) {
+        if (fn.allowed[a] == inst.cloudlets[c]) {
+          terms.push_back({var_of[idx][a], fn.demand});
+        }
+      }
+    }
+    if (!terms.empty()) {
+      m.add_constraint(std::move(terms), lp::Relation::kLessEqual,
+                       inst.residual[c]);
+    }
+  }
+  return m;
+}
+
+TEST(Reconciliation, LiteralMinimizationPlacesNothing) {
+  const auto f = test::tiny_fixture();
+  std::vector<std::vector<lp::VarId>> var_of;
+  auto m = literal_min_cost_model(f.instance, var_of);
+  const auto s = ilp::BranchAndBoundSolver().solve(
+      m, std::vector<bool>(m.num_variables(), true));
+  ASSERT_EQ(s.status, ilp::IlpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);  // empty packing is "optimal"
+  for (double x : s.x) EXPECT_NEAR(x, 0.0, 1e-9);
+}
+
+TEST(Reconciliation, CountThenCostSelectsPrefixes) {
+  // Stage 1: maximize the number of packed items. Stage 2: among maximum
+  // packings, minimize total Eq. (3) cost (big-W trick: minimize
+  // sum (c_ik - W) x with W > max cost). The per-function selections must
+  // be prefixes in k — the Lemma 4.2 structure.
+  const auto f = test::tiny_fixture();
+  const auto& inst = f.instance;
+  std::vector<std::vector<lp::VarId>> var_of;
+  auto m = literal_min_cost_model(inst, var_of);
+  // Rebuild objective: c_ik - W.
+  double max_cost = 0.0;
+  for (const auto& item : inst.items) {
+    max_cost = std::max(max_cost, inst.item_cost(item));
+  }
+  const double W = max_cost + 1.0;
+  lp::Model staged;  // fresh model with shifted costs
+  std::vector<std::vector<lp::VarId>> staged_vars;
+  {
+    staged_vars.assign(inst.num_items(), {});
+    for (std::size_t idx = 0; idx < inst.num_items(); ++idx) {
+      const auto& item = inst.items[idx];
+      const auto& fn = inst.functions[item.chain_pos];
+      for (std::size_t a = 0; a < fn.allowed.size(); ++a) {
+        staged_vars[idx].push_back(
+            staged.add_unit_variable(inst.item_cost(item) - W));
+      }
+    }
+    for (std::size_t idx = 0; idx < inst.num_items(); ++idx) {
+      std::vector<lp::Term> terms;
+      for (lp::VarId v : staged_vars[idx]) terms.push_back({v, 1.0});
+      staged.add_constraint(std::move(terms), lp::Relation::kLessEqual, 1.0);
+    }
+    for (std::size_t c = 0; c < inst.cloudlets.size(); ++c) {
+      std::vector<lp::Term> terms;
+      for (std::size_t idx = 0; idx < inst.num_items(); ++idx) {
+        const auto& fn = inst.functions[inst.items[idx].chain_pos];
+        for (std::size_t a = 0; a < fn.allowed.size(); ++a) {
+          if (fn.allowed[a] == inst.cloudlets[c]) {
+            terms.push_back({staged_vars[idx][a], fn.demand});
+          }
+        }
+      }
+      if (!terms.empty()) {
+        staged.add_constraint(std::move(terms), lp::Relation::kLessEqual,
+                              inst.residual[c]);
+      }
+    }
+  }
+  const auto s = ilp::BranchAndBoundSolver().solve(
+      staged, std::vector<bool>(staged.num_variables(), true));
+  ASSERT_EQ(s.status, ilp::IlpStatus::kOptimal);
+
+  // Which items were placed?
+  std::vector<std::vector<bool>> placed(inst.functions.size());
+  for (auto& p : placed) p.assign(64, false);
+  std::size_t count = 0;
+  for (std::size_t idx = 0; idx < inst.num_items(); ++idx) {
+    for (lp::VarId v : staged_vars[idx]) {
+      if (s.x[v] > 0.5) {
+        placed[inst.items[idx].chain_pos][inst.items[idx].k] = true;
+        ++count;
+      }
+    }
+  }
+  EXPECT_GT(count, 0u);
+  // Prefix property: if item k is placed, so is item k-1.
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    for (std::uint32_t k = 2; k < 64; ++k) {
+      if (placed[i][k]) {
+        EXPECT_TRUE(placed[i][k - 1])
+            << "function " << i << " placed item " << k << " without "
+            << k - 1;
+      }
+    }
+  }
+}
+
+TEST(Reconciliation, GainMaxReliabilityDominatesCountMax) {
+  // The tiny fixture demands differ (300 vs 400); count-max may fill with
+  // cheap-demand items while gain-max picks the reliability optimum. The
+  // gain formulation must never achieve less reliability.
+  for (std::uint64_t seed : {61001u, 61002u, 61003u}) {
+    const auto scenario = test::random_scenario(seed, 5, 0.25);
+    ASSERT_TRUE(scenario.has_value());
+    const auto& inst = scenario->instance;
+    if (inst.num_items() == 0) continue;
+
+    AugmentOptions opt;
+    opt.trim_to_expectation = false;
+    const auto gain_max = augment_ilp(inst, opt);
+
+    // Count-max via the big-W staged model.
+    double max_cost = 0.0;
+    for (const auto& item : inst.items) {
+      max_cost = std::max(max_cost, inst.item_cost(item));
+    }
+    const double W = max_cost + 1.0;
+    lp::Model staged;
+    std::vector<std::vector<lp::VarId>> vars(inst.num_items());
+    for (std::size_t idx = 0; idx < inst.num_items(); ++idx) {
+      const auto& fn = inst.functions[inst.items[idx].chain_pos];
+      for (std::size_t a = 0; a < fn.allowed.size(); ++a) {
+        vars[idx].push_back(
+            staged.add_unit_variable(inst.item_cost(inst.items[idx]) - W));
+      }
+    }
+    for (std::size_t idx = 0; idx < inst.num_items(); ++idx) {
+      std::vector<lp::Term> terms;
+      for (lp::VarId v : vars[idx]) terms.push_back({v, 1.0});
+      staged.add_constraint(std::move(terms), lp::Relation::kLessEqual, 1.0);
+    }
+    for (std::size_t c = 0; c < inst.cloudlets.size(); ++c) {
+      std::vector<lp::Term> terms;
+      for (std::size_t idx = 0; idx < inst.num_items(); ++idx) {
+        const auto& fn = inst.functions[inst.items[idx].chain_pos];
+        for (std::size_t a = 0; a < fn.allowed.size(); ++a) {
+          if (fn.allowed[a] == inst.cloudlets[c]) {
+            terms.push_back({vars[idx][a], fn.demand});
+          }
+        }
+      }
+      if (!terms.empty()) {
+        staged.add_constraint(std::move(terms), lp::Relation::kLessEqual,
+                              inst.residual[c]);
+      }
+    }
+    ilp::IlpOptions io;
+    io.time_limit_seconds = 5.0;
+    const auto s = ilp::BranchAndBoundSolver(io).solve(
+        staged, std::vector<bool>(staged.num_variables(), true));
+    if (!s.has_solution()) continue;
+    std::vector<std::uint32_t> counts(inst.functions.size(), 0);
+    for (std::size_t idx = 0; idx < inst.num_items(); ++idx) {
+      for (lp::VarId v : vars[idx]) {
+        if (s.x[v] > 0.5) ++counts[inst.items[idx].chain_pos];
+      }
+    }
+    const double count_max_rel = inst.reliability_for_counts(counts);
+    EXPECT_GE(gain_max.achieved_reliability, count_max_rel - 2e-3)
+        << "seed " << seed;
+  }
+}
+
+TEST(Reconciliation, CostAndGainOrderItemsIdentically) {
+  for (double r : {0.55, 0.7, 0.85, 0.95}) {
+    for (std::uint32_t k = 1; k < 10; ++k) {
+      // Within a function: cheaper item (lower k) <=> larger gain.
+      EXPECT_LT(mec::item_cost(r, k), mec::item_cost(r, k + 1));
+      EXPECT_GT(mec::marginal_gain(r, k), mec::marginal_gain(r, k + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mecra::core

@@ -1,0 +1,244 @@
+// Tests for the shared-backup extension: sharing semantics, capacity
+// savings over dedicated backups, expectation capping, and feasibility.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/heuristic_matching.h"
+#include "core/shared_backup.h"
+#include "graph/topology.h"
+#include "test_fixtures.h"
+
+namespace mecra::core {
+namespace {
+
+/// Two identical single-function requests whose primaries sit on the same
+/// cloudlet: the canonical sharing win.
+struct TwinWorld {
+  mec::MecNetwork network;
+  mec::VnfCatalog catalog;
+  std::vector<AdmittedRequest> admitted;
+};
+
+TwinWorld twin_world(double rho = 0.95) {
+  TwinWorld w{
+      mec::MecNetwork(graph::path_graph(3), {0.0, 2000.0, 1500.0}),
+      mec::VnfCatalog({{0, "f", 0.8, 300.0}}),
+      {},
+  };
+  for (int j = 0; j < 2; ++j) {
+    AdmittedRequest adm;
+    adm.request.id = static_cast<mec::RequestId>(j);
+    adm.request.chain = {0};
+    adm.request.expectation = rho;
+    adm.primaries.cloudlet_of = {1};
+    w.network.consume(1, 300.0);
+    w.admitted.push_back(std::move(adm));
+  }
+  return w;
+}
+
+TEST(SharedBackup, OneInstanceServesBothTwins) {
+  auto w = twin_world();
+  const auto plan =
+      plan_shared_backups(w.network, w.catalog, w.admitted, {});
+  // rho = 0.95 needs R >= 0.95: one backup gives 0.96 for BOTH requests.
+  ASSERT_EQ(plan.num_instances(), 1u);
+  EXPECT_EQ(plan.num_met, 2u);
+  EXPECT_NEAR(plan.achieved_reliability[0], 0.96, 1e-12);
+  EXPECT_NEAR(plan.achieved_reliability[1], 0.96, 1e-12);
+  EXPECT_DOUBLE_EQ(plan.capacity_consumed, 300.0);
+}
+
+TEST(SharedBackup, DedicatedBackupsCostTwiceAsMuchHere) {
+  auto w = twin_world();
+  // Dedicated path: augment each request separately.
+  double dedicated_capacity = 0.0;
+  for (const auto& adm : w.admitted) {
+    const auto inst = build_bmcgap(w.network, w.catalog, adm.request,
+                                   adm.primaries, {});
+    const auto r = augment_heuristic(inst);
+    for (const auto& p : r.placements) {
+      dedicated_capacity += inst.functions[p.chain_pos].demand;
+    }
+    // (not applying: both measured against the same residual snapshot)
+  }
+  const auto plan =
+      plan_shared_backups(w.network, w.catalog, w.admitted, {});
+  EXPECT_DOUBLE_EQ(dedicated_capacity, 600.0);
+  EXPECT_DOUBLE_EQ(plan.capacity_consumed, 300.0);
+}
+
+TEST(SharedBackup, CapsAtExpectation) {
+  auto w = twin_world(/*rho=*/0.9999);
+  SharedBackupOptions opt;
+  const auto plan = plan_shared_backups(w.network, w.catalog, w.admitted, opt);
+  // Needs several backups; each placed instance serves both requests, and
+  // placement stops once both cross rho (no runaway placement).
+  EXPECT_EQ(plan.num_met, 2u);
+  for (double u : plan.achieved_reliability) {
+    EXPECT_GE(u, 0.9999 - 1e-12);
+  }
+  // 1 - 0.2^(k+1) >= 0.9999 needs k = 5 backups... bounded by capacity:
+  // cloudlet 1 has 2000 - 600 = 1400 left (4 instances) + cloudlet 2
+  // 1500 (5 instances). The greedy must not exceed what is needed: R with
+  // k backups; k = 5 suffices (1 - 0.2^6 = 0.999936).
+  EXPECT_LE(plan.num_instances(), 6u);
+}
+
+TEST(SharedBackup, RespectsHopRadius) {
+  // Primary at node 1 of a path 0-1-2-3-4; cloudlet at node 4 is 3 hops
+  // away: only reachable with l >= 3.
+  mec::MecNetwork net(graph::path_graph(5), {0.0, 600.0, 0.0, 0.0, 2000.0});
+  mec::VnfCatalog cat({{0, "f", 0.8, 300.0}});
+  AdmittedRequest adm;
+  adm.request.chain = {0};
+  adm.request.expectation = 0.99;
+  adm.primaries.cloudlet_of = {1};
+  net.consume(1, 300.0);
+  const std::vector<AdmittedRequest> admitted{adm};
+
+  SharedBackupOptions l1;
+  l1.l_hops = 1;
+  const auto near_only = plan_shared_backups(net, cat, admitted, l1);
+  // Residual at node 1: 300 -> one backup; node 4 unreachable.
+  EXPECT_EQ(near_only.num_instances(), 1u);
+  EXPECT_EQ(near_only.num_met, 0u);
+
+  SharedBackupOptions l3;
+  l3.l_hops = 3;
+  const auto wide = plan_shared_backups(net, cat, admitted, l3);
+  EXPECT_GT(wide.num_instances(), near_only.num_instances());
+  EXPECT_EQ(wide.num_met, 1u);
+  for (const auto& inst : wide.instances) {
+    EXPECT_TRUE(inst.cloudlet == 1 || inst.cloudlet == 4);
+  }
+}
+
+TEST(SharedBackup, NeverExceedsResidualCapacity) {
+  const auto scenario = test::random_scenario(97001, 6, 0.25);
+  ASSERT_TRUE(scenario.has_value());
+  // Three requests on the SAME network state (primaries of the scenario's
+  // request already consumed; synthesize two more admitted requests).
+  std::vector<AdmittedRequest> admitted;
+  admitted.push_back(
+      AdmittedRequest{scenario->request, scenario->primaries});
+  util::Rng rng(97002);
+  auto network = scenario->network;
+  for (int extra = 0; extra < 2; ++extra) {
+    mec::RequestParams rp;
+    const auto req = mec::random_request(100 + static_cast<unsigned>(extra),
+                                         scenario->catalog,
+                                         network.num_nodes(), rp, rng);
+    auto primaries =
+        admission::random_admission(network, scenario->catalog, req, rng);
+    if (!primaries.has_value()) continue;
+    admitted.push_back(AdmittedRequest{req, *primaries});
+  }
+
+  const auto plan =
+      plan_shared_backups(network, scenario->catalog, admitted, {});
+  std::vector<double> load(network.num_nodes(), 0.0);
+  for (const auto& inst : plan.instances) {
+    load[inst.cloudlet] +=
+        scenario->catalog.function(inst.function).cpu_demand;
+  }
+  for (graph::NodeId v : network.cloudlets()) {
+    EXPECT_LE(load[v], network.residual(v) + 1e-6);
+  }
+  // Applying must succeed without violation flags.
+  apply_shared_plan(network, scenario->catalog, plan);
+}
+
+TEST(SharedBackup, CloneBatchCostsOneDedicatedAugmentation) {
+  // N admitted requests with IDENTICAL chains and primaries: every shared
+  // instance serves all of them, so meeting all N costs exactly what
+  // meeting one costs, while dedicated backups scale with N.
+  const auto scenario = test::random_scenario(97201, 5, 1.0);
+  ASSERT_TRUE(scenario.has_value());
+  const auto& network = scenario->network;
+  std::vector<AdmittedRequest> clones(
+      4, AdmittedRequest{scenario->request, scenario->primaries});
+
+  const auto plan =
+      plan_shared_backups(network, scenario->catalog, clones, {});
+  std::vector<AdmittedRequest> one(clones.begin(), clones.begin() + 1);
+  const auto single = plan_shared_backups(network, scenario->catalog, one, {});
+  EXPECT_NEAR(plan.capacity_consumed, single.capacity_consumed, 1e-9);
+  EXPECT_EQ(plan.num_met, 4 * single.num_met);
+  for (std::size_t j = 0; j < clones.size(); ++j) {
+    EXPECT_NEAR(plan.achieved_reliability[j],
+                single.achieved_reliability[0], 1e-12);
+  }
+}
+
+TEST(SharedBackup, TerminationCertificateOnRandomBatches) {
+  // The greedy's guarantee: at termination, every unmet request has no
+  // feasible improving placement left — every candidate cloudlet within
+  // l hops of one of its primaries lacks capacity for that function.
+  for (std::uint64_t seed : {97101u, 97102u, 97103u}) {
+    const auto scenario = test::random_scenario(seed, 5, 0.5);
+    ASSERT_TRUE(scenario.has_value());
+    util::Rng rng(seed + 5000);
+    auto network = scenario->network;
+    std::vector<AdmittedRequest> admitted{
+        AdmittedRequest{scenario->request, scenario->primaries}};
+    for (int extra = 0; extra < 3; ++extra) {
+      mec::RequestParams rp;
+      const auto req = mec::random_request(
+          200 + static_cast<unsigned>(extra), scenario->catalog,
+          network.num_nodes(), rp, rng);
+      auto primaries =
+          admission::random_admission(network, scenario->catalog, req, rng);
+      if (primaries.has_value()) {
+        admitted.push_back(AdmittedRequest{req, *primaries});
+      }
+    }
+    const auto plan =
+        plan_shared_backups(network, scenario->catalog, admitted, {});
+
+    // Residual after the plan.
+    std::vector<double> residual(network.num_nodes(), 0.0);
+    for (graph::NodeId v : network.cloudlets()) {
+      residual[v] = network.residual(v);
+    }
+    for (const auto& inst : plan.instances) {
+      residual[inst.cloudlet] -=
+          scenario->catalog.function(inst.function).cpu_demand;
+    }
+    for (std::size_t j = 0; j < admitted.size(); ++j) {
+      EXPECT_GE(plan.achieved_reliability[j],
+                plan.initial_reliability[j] - 1e-12);
+      if (plan.expectation_met[j]) continue;
+      for (std::size_t p = 0; p < admitted[j].request.length(); ++p) {
+        const auto& fn = scenario->catalog.function(
+            admitted[j].request.chain[p]);
+        if (fn.reliability >= 1.0) continue;  // no gain possible anyway
+        for (graph::NodeId u : network.cloudlets_within(
+                 admitted[j].primaries.cloudlet_of[p], 1)) {
+          EXPECT_LT(residual[u], fn.cpu_demand)
+              << "seed " << seed << ": unmet request " << j
+              << " still had a feasible improving backup at cloudlet " << u;
+        }
+      }
+    }
+  }
+}
+
+TEST(SharedBackup, MaxInstancesCapIsRespected) {
+  auto w = twin_world(0.99999);
+  SharedBackupOptions opt;
+  opt.max_instances = 2;
+  const auto plan = plan_shared_backups(w.network, w.catalog, w.admitted, opt);
+  EXPECT_LE(plan.num_instances(), 2u);
+}
+
+TEST(SharedBackup, EmptyRequestSetYieldsEmptyPlan) {
+  auto w = twin_world();
+  const auto plan = plan_shared_backups(w.network, w.catalog, {}, {});
+  EXPECT_EQ(plan.num_instances(), 0u);
+  EXPECT_EQ(plan.num_met, 0u);
+}
+
+}  // namespace
+}  // namespace mecra::core

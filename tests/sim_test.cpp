@@ -1,0 +1,157 @@
+// Tests for the simulation harness: workload generation, the trial runner
+// (including serial/parallel determinism), and the report tables.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/heuristic_matching.h"
+#include "sim/report.h"
+#include "sim/runner.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+
+namespace mecra::sim {
+namespace {
+
+TEST(Workload, PaperDefaultsProduceThePaperShape) {
+  ScenarioParams params;
+  util::Rng rng(1);
+  const auto s = make_scenario(params, rng);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->network.num_nodes(), 100u);
+  EXPECT_EQ(s->network.cloudlets().size(), 10u);
+  EXPECT_EQ(s->catalog.size(), 30u);
+  EXPECT_GE(s->request.length(), 3u);
+  EXPECT_LE(s->request.length(), 10u);
+  EXPECT_EQ(s->instance.l_hops, 1u);
+  // Residual accounting: every cloudlet at most 25% full + primaries.
+  for (graph::NodeId v : s->network.cloudlets()) {
+    EXPECT_LE(s->network.residual(v), 0.25 * s->network.capacity(v) + 1e-9);
+    EXPECT_GE(s->network.residual(v), -1e-9);
+  }
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  ScenarioParams params;
+  util::Rng a(7);
+  util::Rng b(7);
+  const auto sa = make_scenario(params, a);
+  const auto sb = make_scenario(params, b);
+  ASSERT_TRUE(sa.has_value() && sb.has_value());
+  EXPECT_EQ(sa->request.chain, sb->request.chain);
+  EXPECT_EQ(sa->primaries.cloudlet_of, sb->primaries.cloudlet_of);
+  EXPECT_EQ(sa->instance.num_items(), sb->instance.num_items());
+}
+
+TEST(Workload, HonorsOverrides) {
+  ScenarioParams params;
+  params.num_aps = 50;
+  params.cloudlets.cloudlet_fraction = 0.2;
+  params.request.chain_length_low = 4;
+  params.request.chain_length_high = 4;
+  params.bmcgap.l_hops = 2;
+  util::Rng rng(2);
+  const auto s = make_scenario(params, rng);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->network.num_nodes(), 50u);
+  EXPECT_EQ(s->network.cloudlets().size(), 10u);
+  EXPECT_EQ(s->request.length(), 4u);
+  EXPECT_EQ(s->instance.l_hops, 2u);
+}
+
+TEST(Runner, PaperAlgorithmsListAndOrder) {
+  const auto specs = paper_algorithms();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "ILP");
+  EXPECT_EQ(specs[1].name, "Randomized");
+  EXPECT_EQ(specs[2].name, "Heuristic");
+  EXPECT_EQ(paper_algorithms(true).size(), 4u);
+}
+
+TEST(Runner, AggregatesEveryTrialForEveryAlgorithm) {
+  ScenarioParams params;
+  params.request.chain_length_low = 3;
+  params.request.chain_length_high = 3;
+  RunConfig config;
+  config.trials = 4;
+  config.threads = 1;
+  config.augment.ilp.time_limit_seconds = 5.0;
+  const auto run = run_trials(params, config, paper_algorithms());
+  EXPECT_EQ(run.failed_scenarios, 0u);
+  for (const auto& name : run.algorithm_order) {
+    const auto& agg = run.aggregates.at(name);
+    EXPECT_EQ(agg.trials, 4u);
+    EXPECT_EQ(agg.reliability.count(), 4u);
+    EXPECT_GT(agg.reliability.mean(), 0.0);
+    EXPECT_LE(agg.reliability.max(), 1.0 + 1e-9);
+  }
+}
+
+TEST(Runner, SerialAndParallelAgreeBitForBit) {
+  ScenarioParams params;
+  params.request.chain_length_low = 3;
+  params.request.chain_length_high = 3;
+  RunConfig serial;
+  serial.trials = 3;
+  serial.threads = 1;
+  RunConfig parallel = serial;
+  parallel.threads = 4;
+  // Heuristic only: ILP timing jitter does not affect results, but keep the
+  // test fast.
+  std::vector<AlgorithmSpec> specs{{"Heuristic", core::augment_heuristic}};
+  const auto a = run_trials(params, serial, specs);
+  const auto b = run_trials(params, parallel, specs);
+  const auto& aa = a.aggregates.at("Heuristic");
+  const auto& bb = b.aggregates.at("Heuristic");
+  EXPECT_EQ(aa.reliability.mean(), bb.reliability.mean());
+  EXPECT_EQ(aa.placements.sum(), bb.placements.sum());
+  EXPECT_EQ(aa.max_usage.max(), bb.max_usage.max());
+}
+
+TEST(Runner, TrialsFromEnvFallback) {
+  // Without the env var set, the fallback is returned.
+  EXPECT_EQ(trials_from_env(17), 17u);
+}
+
+SweepPoint make_point(const std::string& label, std::uint64_t seed) {
+  ScenarioParams params;
+  params.request.chain_length_low = 3;
+  params.request.chain_length_high = 3;
+  RunConfig config;
+  config.trials = 2;
+  config.threads = 1;
+  config.seed = seed;
+  return SweepPoint{label, run_trials(params, config, paper_algorithms())};
+}
+
+TEST(Report, TablesHaveOneRowPerSweepPoint) {
+  std::vector<SweepPoint> sweep;
+  sweep.push_back(make_point("3", 1));
+  sweep.push_back(make_point("4", 2));
+
+  const auto rel = reliability_table("len", sweep);
+  EXPECT_EQ(rel.num_rows(), 2u);
+  EXPECT_EQ(rel.num_cols(), 1u + 2u * 3u);  // x + (mean, sd) per algorithm
+
+  const auto usage = usage_table("len", sweep, "Randomized");
+  EXPECT_EQ(usage.num_rows(), 2u);
+  EXPECT_EQ(usage.num_cols(), 4u);
+
+  const auto rt = runtime_table("len", sweep);
+  EXPECT_EQ(rt.num_rows(), 2u);
+  EXPECT_EQ(rt.num_cols(), 4u);
+
+  const auto ratio = ratio_to_first_table("len", sweep);
+  EXPECT_EQ(ratio.num_rows(), 2u);
+  EXPECT_EQ(ratio.num_cols(), 3u);  // x + two non-baseline algorithms
+
+  std::ostringstream os;
+  rel.print(os);
+  usage.print(os);
+  rt.print(os);
+  ratio.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace mecra::sim

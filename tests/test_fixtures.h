@@ -1,0 +1,70 @@
+// Shared fixtures for the core-algorithm tests: deterministic hand-built
+// instances where optima are computable by hand or brute force, plus a
+// convenience wrapper around the simulation workload generator.
+#pragma once
+
+#include <optional>
+
+#include "admission/admission.h"
+#include "core/bmcgap.h"
+#include "graph/topology.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+
+namespace mecra::test {
+
+struct Fixture {
+  mec::MecNetwork network;
+  mec::VnfCatalog catalog;
+  mec::SfcRequest request;
+  admission::PrimaryPlacement primaries;
+  core::BmcgapInstance instance;
+};
+
+/// A hand-checkable instance:
+///   path 0-1-2; cloudlets at 1 (capacity 1000) and 2 (capacity 800);
+///   two functions a (r=0.8, c=300) and b (r=0.9, c=400);
+///   chain {a, b}; primary of a at node 1, of b at node 2;
+///   residual fraction and expectation configurable.
+inline Fixture tiny_fixture(double residual_fraction = 1.0,
+                            double expectation = 0.99,
+                            std::uint32_t l_hops = 1) {
+  Fixture f{
+      .network = mec::MecNetwork(graph::path_graph(3),
+                                 {0.0, 1000.0, 800.0}),
+      .catalog = mec::VnfCatalog(
+          {{0, "a", 0.8, 300.0}, {0, "b", 0.9, 400.0}}),
+      .request = {},
+      .primaries = {},
+      .instance = {},
+  };
+  f.request.chain = {0, 1};
+  f.request.expectation = expectation;
+  f.network.set_residual_fraction(residual_fraction);
+  // Primaries consume from the residual like the experiment pipeline does.
+  f.network.consume(1, 300.0);
+  f.network.consume(2, 400.0);
+  f.primaries.cloudlet_of = {1, 2};
+  core::BmcgapOptions opt;
+  opt.l_hops = l_hops;
+  f.instance = core::build_bmcgap(f.network, f.catalog, f.request,
+                                  f.primaries, opt);
+  return f;
+}
+
+/// A paper-shaped random scenario (100 APs etc.) with a few overridables.
+inline std::optional<sim::Scenario> random_scenario(
+    std::uint64_t seed, std::size_t chain_len = 6,
+    double residual_fraction = 0.25, std::uint32_t l_hops = 1,
+    double expectation = 0.99) {
+  sim::ScenarioParams params;
+  params.request.chain_length_low = chain_len;
+  params.request.chain_length_high = chain_len;
+  params.request.expectation = expectation;
+  params.residual_fraction = residual_fraction;
+  params.bmcgap.l_hops = l_hops;
+  util::Rng rng(seed);
+  return sim::make_scenario(params, rng);
+}
+
+}  // namespace mecra::test

@@ -1,0 +1,173 @@
+// Tests for the topology generators (GT-ITM-style Waxman, transit-stub,
+// Erdős–Rényi, and the deterministic shapes), including parameterized
+// property sweeps over seeds.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace mecra::graph {
+namespace {
+
+// ----------------------------------------------------------------- Waxman
+
+TEST(Waxman, ProducesRequestedNodeCountAndCoordinates) {
+  util::Rng rng(1);
+  const auto t = waxman({.num_nodes = 50}, rng);
+  EXPECT_EQ(t.graph.num_nodes(), 50u);
+  EXPECT_EQ(t.x.size(), 50u);
+  EXPECT_EQ(t.y.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_GE(t.x[i], 0.0);
+    EXPECT_LE(t.x[i], 1.0);
+    EXPECT_GE(t.y[i], 0.0);
+    EXPECT_LE(t.y[i], 1.0);
+  }
+}
+
+TEST(Waxman, RepairMakesGraphConnected) {
+  util::Rng rng(2);
+  // Tiny alpha: almost no organic edges, repair must bridge everything.
+  const auto t = waxman({.num_nodes = 30, .alpha = 0.01, .beta = 0.05}, rng);
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+TEST(Waxman, WithoutRepairSparseGraphsAreUsuallyDisconnected) {
+  util::Rng rng(3);
+  const auto t = waxman(
+      {.num_nodes = 40, .alpha = 0.01, .beta = 0.05, .ensure_connected = false},
+      rng);
+  EXPECT_FALSE(is_connected(t.graph));
+}
+
+TEST(Waxman, DensityGrowsWithAlpha) {
+  util::Rng rng1(4);
+  util::Rng rng2(4);
+  const auto sparse = waxman({.num_nodes = 60, .alpha = 0.1}, rng1);
+  const auto dense = waxman({.num_nodes = 60, .alpha = 0.9}, rng2);
+  EXPECT_LT(sparse.graph.num_edges(), dense.graph.num_edges());
+}
+
+TEST(Waxman, DeterministicGivenSeed) {
+  util::Rng a(5);
+  util::Rng b(5);
+  const auto ta = waxman({.num_nodes = 30}, a);
+  const auto tb = waxman({.num_nodes = 30}, b);
+  EXPECT_EQ(ta.graph.num_edges(), tb.graph.num_edges());
+  for (std::size_t e = 0; e < ta.graph.edges().size(); ++e) {
+    EXPECT_EQ(ta.graph.edges()[e], tb.graph.edges()[e]);
+  }
+}
+
+TEST(Waxman, SingleNode) {
+  util::Rng rng(6);
+  const auto t = waxman({.num_nodes = 1}, rng);
+  EXPECT_EQ(t.graph.num_nodes(), 1u);
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+class WaxmanSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WaxmanSeedSweep, AlwaysConnectedWithRepair) {
+  util::Rng rng(GetParam());
+  const auto t = waxman({.num_nodes = 100}, rng);
+  EXPECT_TRUE(is_connected(t.graph));
+  // Simple graph: no duplicate edges possible by construction, so edge count
+  // is bounded by n(n-1)/2.
+  EXPECT_LE(t.graph.num_edges(), 100u * 99u / 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaxmanSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ------------------------------------------------------------ transit-stub
+
+TEST(TransitStub, NodeCountMatchesStructure) {
+  util::Rng rng(7);
+  TransitStubParams p;
+  p.num_transit = 3;
+  p.stubs_per_transit = 2;
+  p.nodes_per_stub = 4;
+  const auto t = transit_stub(p, rng);
+  EXPECT_EQ(t.graph.num_nodes(), 3u + 3u * 2u * 4u);
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+class TransitStubSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransitStubSweep, AlwaysConnected) {
+  util::Rng rng(GetParam());
+  const auto t = transit_stub({}, rng);
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransitStubSweep,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ------------------------------------------------------------ Erdős–Rényi
+
+TEST(ErdosRenyi, ZeroProbabilityWithRepairIsATreeChain) {
+  util::Rng rng(8);
+  const Graph g = erdos_renyi(10, 0.0, rng, /*ensure_connected=*/true);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.num_edges(), 9u);
+}
+
+TEST(ErdosRenyi, FullProbabilityIsComplete) {
+  util::Rng rng(9);
+  const Graph g = erdos_renyi(8, 1.0, rng);
+  EXPECT_EQ(g.num_edges(), 28u);
+}
+
+TEST(ErdosRenyi, NoRepairKeepsIsolatedNodes) {
+  util::Rng rng(10);
+  const Graph g = erdos_renyi(10, 0.0, rng, /*ensure_connected=*/false);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+// ------------------------------------------------------ deterministic shapes
+
+TEST(Shapes, PathGraph) {
+  const Graph g = path_graph(4);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(bfs_hops(g, 0)[3], 3u);
+}
+
+TEST(Shapes, RingGraph) {
+  const Graph g = ring_graph(5);
+  EXPECT_EQ(g.num_edges(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_EQ(bfs_hops(g, 0)[2], 2u);
+  EXPECT_EQ(bfs_hops(g, 0)[4], 1u);  // wraps around
+}
+
+TEST(Shapes, RingRejectsTooSmall) {
+  EXPECT_THROW((void)ring_graph(2), util::CheckFailure);
+}
+
+TEST(Shapes, StarGraph) {
+  const Graph g = star_graph(6);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (NodeId v = 1; v <= 6; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Shapes, CompleteGraph) {
+  const Graph g = complete_graph(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Shapes, GridGraph) {
+  const Graph g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // Edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8.
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_TRUE(is_connected(g));
+  // Manhattan distance check: corner to corner.
+  EXPECT_EQ(bfs_hops(g, 0)[11], 5u);
+}
+
+}  // namespace
+}  // namespace mecra::graph
