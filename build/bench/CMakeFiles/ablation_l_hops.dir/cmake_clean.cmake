@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l_hops.dir/ablation_l_hops.cpp.o"
+  "CMakeFiles/ablation_l_hops.dir/ablation_l_hops.cpp.o.d"
+  "ablation_l_hops"
+  "ablation_l_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_sharing.dir/extension_sharing.cpp.o"
+  "CMakeFiles/extension_sharing.dir/extension_sharing.cpp.o.d"
+  "extension_sharing"
+  "extension_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sfc_length.dir/fig1_sfc_length.cpp.o"
+  "CMakeFiles/fig1_sfc_length.dir/fig1_sfc_length.cpp.o.d"
+  "fig1_sfc_length"
+  "fig1_sfc_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sfc_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

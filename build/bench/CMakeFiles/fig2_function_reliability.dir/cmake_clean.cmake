@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_function_reliability.dir/fig2_function_reliability.cpp.o"
+  "CMakeFiles/fig2_function_reliability.dir/fig2_function_reliability.cpp.o.d"
+  "fig2_function_reliability"
+  "fig2_function_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_function_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_residual_capacity.dir/fig3_residual_capacity.cpp.o"
+  "CMakeFiles/fig3_residual_capacity.dir/fig3_residual_capacity.cpp.o.d"
+  "fig3_residual_capacity"
+  "fig3_residual_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_residual_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

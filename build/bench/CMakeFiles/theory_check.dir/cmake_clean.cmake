@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_check.dir/theory_check.cpp.o"
+  "CMakeFiles/theory_check.dir/theory_check.cpp.o.d"
+  "theory_check"
+  "theory_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

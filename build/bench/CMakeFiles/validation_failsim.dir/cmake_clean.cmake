@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_failsim.dir/validation_failsim.cpp.o"
+  "CMakeFiles/validation_failsim.dir/validation_failsim.cpp.o.d"
+  "validation_failsim"
+  "validation_failsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_failsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

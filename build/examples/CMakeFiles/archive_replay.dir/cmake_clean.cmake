@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_replay.dir/archive_replay.cpp.o"
+  "CMakeFiles/archive_replay.dir/archive_replay.cpp.o.d"
+  "archive_replay"
+  "archive_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

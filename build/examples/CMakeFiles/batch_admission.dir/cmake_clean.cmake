@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_admission.dir/batch_admission.cpp.o"
+  "CMakeFiles/batch_admission.dir/batch_admission.cpp.o.d"
+  "batch_admission"
+  "batch_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

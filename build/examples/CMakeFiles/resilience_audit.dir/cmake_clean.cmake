@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_audit.dir/resilience_audit.cpp.o"
+  "CMakeFiles/resilience_audit.dir/resilience_audit.cpp.o.d"
+  "resilience_audit"
+  "resilience_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

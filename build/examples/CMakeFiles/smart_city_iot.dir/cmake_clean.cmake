@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_city_iot.dir/smart_city_iot.cpp.o"
+  "CMakeFiles/smart_city_iot.dir/smart_city_iot.cpp.o.d"
+  "smart_city_iot"
+  "smart_city_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_city_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_admission.dir/admission.cpp.o"
+  "CMakeFiles/mecra_admission.dir/admission.cpp.o.d"
+  "libmecra_admission.a"
+  "libmecra_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

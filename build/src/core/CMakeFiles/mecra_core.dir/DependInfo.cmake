@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/augmentation.cpp" "src/core/CMakeFiles/mecra_core.dir/augmentation.cpp.o" "gcc" "src/core/CMakeFiles/mecra_core.dir/augmentation.cpp.o.d"
+  "/root/repo/src/core/bmcgap.cpp" "src/core/CMakeFiles/mecra_core.dir/bmcgap.cpp.o" "gcc" "src/core/CMakeFiles/mecra_core.dir/bmcgap.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/mecra_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/mecra_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/greedy_baseline.cpp" "src/core/CMakeFiles/mecra_core.dir/greedy_baseline.cpp.o" "gcc" "src/core/CMakeFiles/mecra_core.dir/greedy_baseline.cpp.o.d"
+  "/root/repo/src/core/hetero_greedy.cpp" "src/core/CMakeFiles/mecra_core.dir/hetero_greedy.cpp.o" "gcc" "src/core/CMakeFiles/mecra_core.dir/hetero_greedy.cpp.o.d"
+  "/root/repo/src/core/heuristic_matching.cpp" "src/core/CMakeFiles/mecra_core.dir/heuristic_matching.cpp.o" "gcc" "src/core/CMakeFiles/mecra_core.dir/heuristic_matching.cpp.o.d"
+  "/root/repo/src/core/ilp_exact.cpp" "src/core/CMakeFiles/mecra_core.dir/ilp_exact.cpp.o" "gcc" "src/core/CMakeFiles/mecra_core.dir/ilp_exact.cpp.o.d"
+  "/root/repo/src/core/latency.cpp" "src/core/CMakeFiles/mecra_core.dir/latency.cpp.o" "gcc" "src/core/CMakeFiles/mecra_core.dir/latency.cpp.o.d"
+  "/root/repo/src/core/randomized_rounding.cpp" "src/core/CMakeFiles/mecra_core.dir/randomized_rounding.cpp.o" "gcc" "src/core/CMakeFiles/mecra_core.dir/randomized_rounding.cpp.o.d"
+  "/root/repo/src/core/shared_backup.cpp" "src/core/CMakeFiles/mecra_core.dir/shared_backup.cpp.o" "gcc" "src/core/CMakeFiles/mecra_core.dir/shared_backup.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/core/CMakeFiles/mecra_core.dir/validator.cpp.o" "gcc" "src/core/CMakeFiles/mecra_core.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/admission/CMakeFiles/mecra_admission.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecra_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/failsim/CMakeFiles/mecra_failsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mecra_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecra_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/mecra_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mecra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_core.dir/augmentation.cpp.o"
+  "CMakeFiles/mecra_core.dir/augmentation.cpp.o.d"
+  "CMakeFiles/mecra_core.dir/bmcgap.cpp.o"
+  "CMakeFiles/mecra_core.dir/bmcgap.cpp.o.d"
+  "CMakeFiles/mecra_core.dir/deployment.cpp.o"
+  "CMakeFiles/mecra_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/mecra_core.dir/greedy_baseline.cpp.o"
+  "CMakeFiles/mecra_core.dir/greedy_baseline.cpp.o.d"
+  "CMakeFiles/mecra_core.dir/hetero_greedy.cpp.o"
+  "CMakeFiles/mecra_core.dir/hetero_greedy.cpp.o.d"
+  "CMakeFiles/mecra_core.dir/heuristic_matching.cpp.o"
+  "CMakeFiles/mecra_core.dir/heuristic_matching.cpp.o.d"
+  "CMakeFiles/mecra_core.dir/ilp_exact.cpp.o"
+  "CMakeFiles/mecra_core.dir/ilp_exact.cpp.o.d"
+  "CMakeFiles/mecra_core.dir/latency.cpp.o"
+  "CMakeFiles/mecra_core.dir/latency.cpp.o.d"
+  "CMakeFiles/mecra_core.dir/randomized_rounding.cpp.o"
+  "CMakeFiles/mecra_core.dir/randomized_rounding.cpp.o.d"
+  "CMakeFiles/mecra_core.dir/shared_backup.cpp.o"
+  "CMakeFiles/mecra_core.dir/shared_backup.cpp.o.d"
+  "CMakeFiles/mecra_core.dir/validator.cpp.o"
+  "CMakeFiles/mecra_core.dir/validator.cpp.o.d"
+  "libmecra_core.a"
+  "libmecra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_failsim.dir/failsim.cpp.o"
+  "CMakeFiles/mecra_failsim.dir/failsim.cpp.o.d"
+  "libmecra_failsim.a"
+  "libmecra_failsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_failsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

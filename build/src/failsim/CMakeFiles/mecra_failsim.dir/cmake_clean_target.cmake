@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmecra_failsim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/mecra_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/mecra_graph.dir/graph.cpp.o"
+  "CMakeFiles/mecra_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/mecra_graph.dir/topology.cpp.o"
+  "CMakeFiles/mecra_graph.dir/topology.cpp.o.d"
+  "libmecra_graph.a"
+  "libmecra_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_ilp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/mecra_ilp.dir/branch_and_bound.cpp.o.d"
+  "libmecra_ilp.a"
+  "libmecra_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_io.dir/json.cpp.o"
+  "CMakeFiles/mecra_io.dir/json.cpp.o.d"
+  "CMakeFiles/mecra_io.dir/scenario_io.cpp.o"
+  "CMakeFiles/mecra_io.dir/scenario_io.cpp.o.d"
+  "libmecra_io.a"
+  "libmecra_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

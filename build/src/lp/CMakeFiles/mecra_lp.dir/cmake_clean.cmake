@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_lp.dir/model.cpp.o"
+  "CMakeFiles/mecra_lp.dir/model.cpp.o.d"
+  "CMakeFiles/mecra_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mecra_lp.dir/simplex.cpp.o.d"
+  "libmecra_lp.a"
+  "libmecra_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_matching.dir/hungarian.cpp.o"
+  "CMakeFiles/mecra_matching.dir/hungarian.cpp.o.d"
+  "CMakeFiles/mecra_matching.dir/min_cost_flow.cpp.o"
+  "CMakeFiles/mecra_matching.dir/min_cost_flow.cpp.o.d"
+  "libmecra_matching.a"
+  "libmecra_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

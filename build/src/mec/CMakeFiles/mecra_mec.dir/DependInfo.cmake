@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mec/network.cpp" "src/mec/CMakeFiles/mecra_mec.dir/network.cpp.o" "gcc" "src/mec/CMakeFiles/mecra_mec.dir/network.cpp.o.d"
+  "/root/repo/src/mec/reliability.cpp" "src/mec/CMakeFiles/mecra_mec.dir/reliability.cpp.o" "gcc" "src/mec/CMakeFiles/mecra_mec.dir/reliability.cpp.o.d"
+  "/root/repo/src/mec/request.cpp" "src/mec/CMakeFiles/mecra_mec.dir/request.cpp.o" "gcc" "src/mec/CMakeFiles/mecra_mec.dir/request.cpp.o.d"
+  "/root/repo/src/mec/vnf.cpp" "src/mec/CMakeFiles/mecra_mec.dir/vnf.cpp.o" "gcc" "src/mec/CMakeFiles/mecra_mec.dir/vnf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mecra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

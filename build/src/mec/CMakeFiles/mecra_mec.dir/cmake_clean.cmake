@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_mec.dir/network.cpp.o"
+  "CMakeFiles/mecra_mec.dir/network.cpp.o.d"
+  "CMakeFiles/mecra_mec.dir/reliability.cpp.o"
+  "CMakeFiles/mecra_mec.dir/reliability.cpp.o.d"
+  "CMakeFiles/mecra_mec.dir/request.cpp.o"
+  "CMakeFiles/mecra_mec.dir/request.cpp.o.d"
+  "CMakeFiles/mecra_mec.dir/vnf.cpp.o"
+  "CMakeFiles/mecra_mec.dir/vnf.cpp.o.d"
+  "libmecra_mec.a"
+  "libmecra_mec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_mec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

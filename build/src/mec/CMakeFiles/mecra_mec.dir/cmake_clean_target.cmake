@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmecra_mec.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_orchestrator.dir/orchestrator.cpp.o"
+  "CMakeFiles/mecra_orchestrator.dir/orchestrator.cpp.o.d"
+  "libmecra_orchestrator.a"
+  "libmecra_orchestrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_orchestrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

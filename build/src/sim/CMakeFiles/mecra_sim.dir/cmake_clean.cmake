@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_sim.dir/dynamic.cpp.o"
+  "CMakeFiles/mecra_sim.dir/dynamic.cpp.o.d"
+  "CMakeFiles/mecra_sim.dir/report.cpp.o"
+  "CMakeFiles/mecra_sim.dir/report.cpp.o.d"
+  "CMakeFiles/mecra_sim.dir/runner.cpp.o"
+  "CMakeFiles/mecra_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/mecra_sim.dir/workload.cpp.o"
+  "CMakeFiles/mecra_sim.dir/workload.cpp.o.d"
+  "libmecra_sim.a"
+  "libmecra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecra_util.dir/cli.cpp.o"
+  "CMakeFiles/mecra_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mecra_util.dir/rng.cpp.o"
+  "CMakeFiles/mecra_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mecra_util.dir/stats.cpp.o"
+  "CMakeFiles/mecra_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mecra_util.dir/table.cpp.o"
+  "CMakeFiles/mecra_util.dir/table.cpp.o.d"
+  "CMakeFiles/mecra_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mecra_util.dir/thread_pool.cpp.o.d"
+  "libmecra_util.a"
+  "libmecra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

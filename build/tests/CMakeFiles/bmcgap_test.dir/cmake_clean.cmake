@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmcgap_test.dir/bmcgap_test.cpp.o"
+  "CMakeFiles/bmcgap_test.dir/bmcgap_test.cpp.o.d"
+  "bmcgap_test"
+  "bmcgap_test.pdb"
+  "bmcgap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmcgap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

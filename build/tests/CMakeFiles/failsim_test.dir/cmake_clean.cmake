@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failsim_test.dir/failsim_test.cpp.o"
+  "CMakeFiles/failsim_test.dir/failsim_test.cpp.o.d"
+  "failsim_test"
+  "failsim_test.pdb"
+  "failsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow_test.cpp" "tests/CMakeFiles/flow_test.dir/flow_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mecra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/orchestrator/CMakeFiles/mecra_orchestrator.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mecra_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mecra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/admission/CMakeFiles/mecra_admission.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecra_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mecra_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecra_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/mecra_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mecra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/failsim/CMakeFiles/mecra_failsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mec_test.dir/mec_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec_test.cpp.o.d"
+  "mec_test"
+  "mec_test.pdb"
+  "mec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

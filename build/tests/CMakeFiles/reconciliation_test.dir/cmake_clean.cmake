@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconciliation_test.dir/reconciliation_test.cpp.o"
+  "CMakeFiles/reconciliation_test.dir/reconciliation_test.cpp.o.d"
+  "reconciliation_test"
+  "reconciliation_test.pdb"
+  "reconciliation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconciliation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_backup_test.dir/shared_backup_test.cpp.o"
+  "CMakeFiles/shared_backup_test.dir/shared_backup_test.cpp.o.d"
+  "shared_backup_test"
+  "shared_backup_test.pdb"
+  "shared_backup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_backup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

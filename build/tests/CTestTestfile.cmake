@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/ilp_test[1]_include.cmake")
+include("/root/repo/build/tests/matching_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/mec_test[1]_include.cmake")
+include("/root/repo/build/tests/admission_test[1]_include.cmake")
+include("/root/repo/build/tests/bmcgap_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/failsim_test[1]_include.cmake")
+include("/root/repo/build/tests/hetero_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_test[1]_include.cmake")
+include("/root/repo/build/tests/shared_backup_test[1]_include.cmake")
+include("/root/repo/build/tests/orchestrator_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_io_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/reconciliation_test[1]_include.cmake")
