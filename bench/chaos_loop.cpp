@@ -1,0 +1,82 @@
+// Robustness bench: the self-healing chaos loop. One MEC network serves a
+// Poisson request stream while instance failures and cloudlet outages are
+// injected at increasing rates; a reactive controller repairs outages with
+// fixed MTTR and tops services back up to their expectation. Augmentation
+// runs through the deadline-guarded FallbackAugmenter (ILP -> randomized ->
+// matching -> greedy), so the bench also reports which tier actually served.
+#include <iostream>
+
+#include "core/fallback.h"
+#include "graph/topology.h"
+#include "sim/chaos.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mecra;
+  const util::CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20200817));
+  const double horizon = args.get_double("horizon", 120.0);
+  const double deadline = args.get_double("deadline", 0.05);
+
+  util::Rng rng(seed);
+  graph::WaxmanParams wax;
+  wax.num_nodes = 100;
+  auto topo = graph::waxman(wax, rng);
+  const auto network = mec::MecNetwork::random(std::move(topo.graph), {}, rng);
+  const auto catalog = mec::VnfCatalog::random({}, rng);
+
+  core::FallbackAugmenter augmenter(
+      core::FallbackOptions{.deadline_seconds = deadline});
+
+  std::cout << "=== Chaos loop: availability under fault injection ===\n"
+            << "network: " << network.num_nodes() << " APs, "
+            << network.cloudlets().size() << " cloudlets, horizon " << horizon
+            << ", reactive controller, MTTR 10, fallback deadline "
+            << deadline << "s\n\n";
+
+  util::Table table({"ifail rate", "outage rate", "admitted", "SLO attain",
+                     "degraded", "down", "MTTR(svc)", "standbys", "revivals"});
+  struct Point {
+    double ifail;
+    double outage;
+  };
+  for (const Point p : {Point{0.0, 0.0}, Point{0.5, 0.02}, Point{1.0, 0.05},
+                        Point{2.0, 0.1}, Point{4.0, 0.2}}) {
+    sim::ChaosConfig config;
+    config.arrival_rate = 1.0;
+    config.mean_holding_time = 15.0;
+    config.horizon = horizon;
+    config.instance_failure_rate = p.ifail;
+    config.cloudlet_outage_rate = p.outage;
+    config.algorithm = augmenter.as_algorithm();
+    config.controller.policy = orchestrator::ReaugmentPolicy::kReactive;
+    config.controller.mttr = 10.0;
+    const auto m = sim::run_chaos(network, catalog, config, seed).metrics;
+    const double held = m.total_held_time > 0.0 ? m.total_held_time : 1.0;
+    table.add_row({util::fmt(p.ifail, 2), util::fmt(p.outage, 2),
+                   std::to_string(m.admitted), util::fmt_pct(m.slo_attainment, 2),
+                   util::fmt_pct(m.degraded_time / held, 2),
+                   util::fmt_pct(m.down_time / held, 2),
+                   util::fmt(m.mean_time_to_recovery, 3),
+                   std::to_string(m.standbys_added),
+                   std::to_string(m.revivals)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nfallback tiers over all sweeps (" << augmenter.calls()
+            << " calls, " << augmenter.best_effort_calls()
+            << " best-effort):\n";
+  util::Table tiers({"tier", "attempts", "served", "timeouts", "infeasible",
+                     "unmet"});
+  for (const auto& t : augmenter.stats()) {
+    tiers.add_row({t.name, std::to_string(t.attempts),
+                   std::to_string(t.served), std::to_string(t.timeouts),
+                   std::to_string(t.infeasible), std::to_string(t.unmet)});
+  }
+  tiers.print(std::cout);
+  std::cout << "\nexpected shape: SLO attainment and availability fall as "
+               "failure rates rise; the controller converts down time into "
+               "degraded time via revivals and standby top-ups.\n";
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "core/fallback.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "core/greedy_baseline.h"
+#include "core/heuristic_matching.h"
+#include "core/ilp_exact.h"
+#include "core/randomized_rounding.h"
+#include "core/validator.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mecra::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+FallbackAugmenter::FallbackAugmenter(std::vector<FallbackTier> tiers,
+                                     FallbackOptions options)
+    : tiers_(std::move(tiers)), options_(options) {
+  MECRA_CHECK_MSG(!tiers_.empty(), "FallbackAugmenter needs at least one tier");
+  MECRA_CHECK(options_.deadline_seconds >= 0.0);
+  tier_stats_.reserve(tiers_.size());
+  for (const FallbackTier& tier : tiers_) {
+    MECRA_CHECK_MSG(static_cast<bool>(tier.algorithm),
+                    "fallback tier has no algorithm");
+    tier_stats_.push_back(FallbackTierStats{tier.name, 0, 0, 0, 0, 0});
+  }
+}
+
+std::vector<FallbackTier> FallbackAugmenter::default_chain() {
+  std::vector<FallbackTier> tiers;
+  tiers.push_back(FallbackTier{
+      "ilp",
+      [](const BmcgapInstance& instance, const AugmentOptions& options,
+         double remaining_seconds) {
+        AugmentOptions capped = options;
+        if (remaining_seconds < kInf) {
+          const double limit = std::max(1e-9, remaining_seconds);
+          capped.ilp.time_limit_seconds =
+              capped.ilp.time_limit_seconds > 0.0
+                  ? std::min(capped.ilp.time_limit_seconds, limit)
+                  : limit;
+        }
+        return augment_ilp(instance, capped);
+      }});
+  tiers.push_back(make_tier("randomized", [](const BmcgapInstance& instance,
+                                             const AugmentOptions& options) {
+    return augment_randomized(instance, options);
+  }));
+  tiers.push_back(make_tier("matching", [](const BmcgapInstance& instance,
+                                           const AugmentOptions& options) {
+    return augment_heuristic(instance, options);
+  }));
+  tiers.push_back(make_tier("greedy", [](const BmcgapInstance& instance,
+                                         const AugmentOptions& options) {
+    return augment_greedy(instance, options);
+  }));
+  return tiers;
+}
+
+FallbackTier FallbackAugmenter::make_tier(
+    std::string name,
+    std::function<AugmentationResult(const BmcgapInstance&,
+                                     const AugmentOptions&)>
+        algorithm) {
+  MECRA_CHECK_MSG(static_cast<bool>(algorithm),
+                  "fallback tier has no algorithm");
+  return FallbackTier{
+      std::move(name),
+      [fn = std::move(algorithm)](const BmcgapInstance& instance,
+                                  const AugmentOptions& options,
+                                  double /*remaining_seconds*/) {
+        return fn(instance, options);
+      }};
+}
+
+AugmentationResult FallbackAugmenter::augment(const BmcgapInstance& instance,
+                                              const AugmentOptions& options) {
+  ++calls_;
+  const util::Timer timer;
+  const bool deadline_active = options_.deadline_seconds > 0.0;
+
+  AugmentationResult best;
+  bool have_best = false;
+  std::size_t best_tier = 0;
+
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    const bool last = i + 1 == tiers_.size();
+    const double elapsed = timer.elapsed_seconds();
+    if (deadline_active && elapsed >= options_.deadline_seconds) {
+      if (have_best) {
+        // Deadline blown but a usable (if sub-expectation) plan exists:
+        // degrade to it instead of burning more time.
+        ++tier_stats_[i].timeouts;
+        break;
+      }
+      if (!last) {
+        // Nothing usable yet; skip straight to the cheapest last resort.
+        ++tier_stats_[i].timeouts;
+        continue;
+      }
+      // Last tier always runs when nothing feasible exists yet.
+    }
+
+    const double remaining =
+        deadline_active ? options_.deadline_seconds - elapsed : kInf;
+    ++tier_stats_[i].attempts;
+    AugmentationResult result = tiers_[i].algorithm(instance, options,
+                                                    remaining);
+    const ValidationReport report = validate(instance, result);
+    if (!report.feasible) {
+      ++tier_stats_[i].infeasible;
+      continue;
+    }
+    if (result.expectation_met) {
+      ++tier_stats_[i].served;
+      return result;
+    }
+    ++tier_stats_[i].unmet;
+    if (!have_best ||
+        result.achieved_reliability > best.achieved_reliability) {
+      best = std::move(result);
+      best_tier = i;
+      have_best = true;
+    }
+  }
+
+  ++best_effort_calls_;
+  if (have_best) {
+    ++tier_stats_[best_tier].served;
+    return best;
+  }
+  // Every tier failed or was infeasible: an empty placement is always
+  // capacity-feasible and lets the caller keep going.
+  AugmentationResult empty;
+  empty.algorithm = "fallback-empty";
+  finalize_result(instance, empty);
+  return empty;
+}
+
+void FallbackAugmenter::reset_stats() {
+  for (FallbackTierStats& s : tier_stats_) {
+    s.attempts = s.served = s.timeouts = s.infeasible = s.unmet = 0;
+  }
+  calls_ = 0;
+  best_effort_calls_ = 0;
+}
+
+std::function<AugmentationResult(const BmcgapInstance&, const AugmentOptions&)>
+FallbackAugmenter::as_algorithm() {
+  return [this](const BmcgapInstance& instance, const AugmentOptions& options) {
+    return augment(instance, options);
+  };
+}
+
+}  // namespace mecra::core

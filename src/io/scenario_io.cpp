@@ -1,11 +1,41 @@
 #include "io/scenario_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
 namespace mecra::io {
 
 namespace {
+
+/// Archives come from disk and may be hand-edited or corrupted; every
+/// numeric field is validated on load with a message naming the field.
+double checked_double(const Json& json, const std::string& field) {
+  const double value = json.as_double();
+  MECRA_CHECK_MSG(std::isfinite(value),
+                  "archive field '" + field + "' is not finite");
+  return value;
+}
+
+double checked_reliability(const Json& json, const std::string& field) {
+  const double value = checked_double(json, field);
+  MECRA_CHECK_MSG(value > 0.0 && value <= 1.0,
+                  "archive field '" + field + "' must be in (0, 1]");
+  return value;
+}
+
+double checked_nonnegative(const Json& json, const std::string& field) {
+  const double value = checked_double(json, field);
+  MECRA_CHECK_MSG(value >= 0.0,
+                  "archive field '" + field + "' must be >= 0");
+  return value;
+}
+
+double checked_positive(const Json& json, const std::string& field) {
+  const double value = checked_double(json, field);
+  MECRA_CHECK_MSG(value > 0.0, "archive field '" + field + "' must be > 0");
+  return value;
+}
 
 JsonArray doubles_to_json(const std::vector<double>& values) {
   JsonArray arr;
@@ -14,9 +44,10 @@ JsonArray doubles_to_json(const std::vector<double>& values) {
   return arr;
 }
 
-std::vector<double> doubles_from_json(const Json& json) {
+std::vector<double> doubles_from_json(const Json& json,
+                                      const std::string& field) {
   std::vector<double> out;
-  for (const Json& v : json.as_array()) out.push_back(v.as_double());
+  for (const Json& v : json.as_array()) out.push_back(checked_double(v, field));
   return out;
 }
 
@@ -44,10 +75,11 @@ graph::Graph graph_from_json(const Json& json) {
   graph::Graph g(static_cast<std::size_t>(obj.at("nodes").as_int()));
   for (const Json& edge : obj.at("edges").as_array()) {
     const auto& triple = edge.as_array();
-    MECRA_CHECK(triple.size() == 3);
+    MECRA_CHECK_MSG(triple.size() == 3,
+                    "archive edge entries must be [u, v, weight] triples");
     g.add_edge(static_cast<graph::NodeId>(triple[0].as_int()),
                static_cast<graph::NodeId>(triple[1].as_int()),
-               triple[2].as_double());
+               checked_double(triple[2], "edge weight"));
   }
   return g;
 }
@@ -71,9 +103,16 @@ Json to_json(const mec::MecNetwork& network) {
 mec::MecNetwork network_from_json(const Json& json) {
   const auto& obj = json.as_object();
   auto topology = graph_from_json(obj.at("topology"));
-  auto capacity = doubles_from_json(obj.at("capacity"));
-  const auto residual = doubles_from_json(obj.at("residual"));
-  MECRA_CHECK(capacity.size() == residual.size());
+  auto capacity = doubles_from_json(obj.at("capacity"), "capacity");
+  const auto residual = doubles_from_json(obj.at("residual"), "residual");
+  MECRA_CHECK_MSG(capacity.size() == residual.size(),
+                  "archive capacity/residual arrays differ in length");
+  for (double c : capacity) {
+    MECRA_CHECK_MSG(c >= 0.0, "archive field 'capacity' must be >= 0");
+  }
+  for (double r : residual) {
+    MECRA_CHECK_MSG(r >= 0.0, "archive field 'residual' must be >= 0");
+  }
   mec::MecNetwork network(std::move(topology), std::move(capacity));
   for (graph::NodeId v = 0; v < network.num_nodes(); ++v) {
     const double used = network.capacity(v) - residual[v];
@@ -105,8 +144,9 @@ mec::VnfCatalog catalog_from_json(const Json& json) {
     const auto& obj = f.as_object();
     mec::NetworkFunction fn;
     fn.name = obj.at("name").as_string();
-    fn.reliability = obj.at("reliability").as_double();
-    fn.cpu_demand = obj.at("demand").as_double();
+    fn.reliability = checked_reliability(obj.at("reliability"),
+                                         "reliability");
+    fn.cpu_demand = checked_positive(obj.at("demand"), "demand");
     functions.push_back(std::move(fn));
   }
   return mec::VnfCatalog(std::move(functions));
@@ -133,7 +173,8 @@ mec::SfcRequest request_from_json(const Json& json) {
   for (const Json& f : obj.at("chain").as_array()) {
     request.chain.push_back(static_cast<mec::FunctionId>(f.as_int()));
   }
-  request.expectation = obj.at("expectation").as_double();
+  request.expectation =
+      checked_reliability(obj.at("expectation"), "expectation");
   request.source = static_cast<graph::NodeId>(obj.at("source").as_int());
   request.destination =
       static_cast<graph::NodeId>(obj.at("destination").as_int());
@@ -199,14 +240,18 @@ core::AugmentationResult result_from_json(const Json& json) {
         static_cast<std::uint32_t>(pair[0].as_int()),
         static_cast<graph::NodeId>(pair[1].as_int())});
   }
-  result.initial_reliability = obj.at("initial_reliability").as_double();
-  result.achieved_reliability = obj.at("achieved_reliability").as_double();
+  result.initial_reliability =
+      checked_double(obj.at("initial_reliability"), "initial_reliability");
+  result.achieved_reliability =
+      checked_double(obj.at("achieved_reliability"), "achieved_reliability");
   result.expectation_met = obj.at("expectation_met").as_bool();
-  result.runtime_seconds = obj.at("runtime_seconds").as_double();
-  result.usage_ratio = doubles_from_json(obj.at("usage_ratio"));
-  result.avg_usage = obj.at("avg_usage").as_double();
-  result.min_usage = obj.at("min_usage").as_double();
-  result.max_usage = obj.at("max_usage").as_double();
+  result.runtime_seconds =
+      checked_nonnegative(obj.at("runtime_seconds"), "runtime_seconds");
+  result.usage_ratio = doubles_from_json(obj.at("usage_ratio"),
+                                         "usage_ratio");
+  result.avg_usage = checked_double(obj.at("avg_usage"), "avg_usage");
+  result.min_usage = checked_double(obj.at("min_usage"), "min_usage");
+  result.max_usage = checked_double(obj.at("max_usage"), "max_usage");
   result.solver_nodes =
       static_cast<std::size_t>(obj.at("solver_nodes").as_int());
   result.objective_gain = obj.at("objective_gain").as_double();

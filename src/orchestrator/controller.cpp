@@ -1,0 +1,160 @@
+#include "orchestrator/controller.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mecra::orchestrator {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Controller::Controller(Orchestrator& orch, ControllerOptions options)
+    : orch_(orch), options_(options), next_batch_(options.period) {
+  MECRA_CHECK(options_.period > 0.0);
+  MECRA_CHECK(options_.backoff_initial > 0.0);
+  MECRA_CHECK(options_.backoff_factor >= 1.0);
+  MECRA_CHECK(options_.backoff_max >= options_.backoff_initial);
+  MECRA_CHECK(options_.mttr >= 0.0);
+}
+
+void Controller::on_admit(ServiceId id, double now) {
+  const Service& svc = orch_.service(id);
+  TrackedService tracked;
+  // Admission may come up short when capacity is scarce; such services are
+  // dirty from birth and get topped up as capacity frees.
+  tracked.dirty = svc.state == ServiceState::kDown ||
+                  svc.current_reliability(orch_.catalog()) <
+                      svc.request.expectation;
+  tracked.not_before = now;
+  tracked_[id] = tracked;
+}
+
+void Controller::on_teardown(ServiceId id) { tracked_.erase(id); }
+
+void Controller::on_instance_failed(ServiceId id, double /*now*/) {
+  const auto it = tracked_.find(id);
+  if (it != tracked_.end()) it->second.dirty = true;
+}
+
+void Controller::on_cloudlet_failed(graph::NodeId v, double now) {
+  repair_queue_.emplace(now + options_.mttr, v);
+  // The controller does not know which services had instances at v; mark
+  // everything dirty and let attempt() clear the healthy ones cheaply.
+  for (auto& [id, tracked] : tracked_) tracked.dirty = true;
+}
+
+double Controller::next_wakeup() const {
+  double wake = kInf;
+  if (!repair_queue_.empty()) {
+    wake = std::min(wake, repair_queue_.begin()->first);
+  }
+  bool any_dirty = false;
+  double earliest_gate = kInf;
+  for (const auto& [id, tracked] : tracked_) {
+    if (!tracked.dirty) continue;
+    any_dirty = true;
+    earliest_gate = std::min(earliest_gate, tracked.not_before);
+  }
+  if (any_dirty) {
+    switch (options_.policy) {
+      case ReaugmentPolicy::kReactive:
+        break;  // acts on every reconcile; no self-scheduled wakeup
+      case ReaugmentPolicy::kPeriodic:
+        wake = std::min(wake, next_batch_);
+        break;
+      case ReaugmentPolicy::kBackoff:
+        // Gates at or before "now" fire on the next reconcile anyway; only
+        // future gates need a wakeup.
+        if (earliest_gate > last_now_) wake = std::min(wake, earliest_gate);
+        break;
+    }
+  }
+  return wake;
+}
+
+void Controller::attempt(ServiceId id, TrackedService& tracked, double now,
+                         ReconcileReport& report) {
+  const Service& svc = orch_.service(id);
+  const double rho = svc.request.expectation;
+  if (svc.state != ServiceState::kDown &&
+      svc.current_reliability(orch_.catalog()) >= rho) {
+    tracked.dirty = false;
+    tracked.backoff = 0.0;
+    return;  // healthy; not an attempt
+  }
+
+  ++metrics_.reaugment_attempts;
+  ++report.attempts;
+  if (svc.state == ServiceState::kDown && options_.revive_down_services) {
+    if (orch_.revive(id)) {
+      ++metrics_.revivals;
+      ++report.revived;
+    }
+  }
+  if (orch_.service(id).state != ServiceState::kDown) {
+    const std::size_t added = orch_.reaugment(id);
+    metrics_.standbys_added += added;
+    report.standbys_added += added;
+  }
+
+  const Service& after = orch_.service(id);
+  const bool met = after.state != ServiceState::kDown &&
+                   after.current_reliability(orch_.catalog()) >= rho;
+  if (met) {
+    ++metrics_.reaugment_successes;
+    tracked.dirty = false;
+    tracked.backoff = 0.0;
+    return;
+  }
+  ++metrics_.reaugment_failures;
+  if (options_.policy == ReaugmentPolicy::kBackoff) {
+    tracked.backoff = tracked.backoff == 0.0
+                          ? options_.backoff_initial
+                          : std::min(options_.backoff_max,
+                                     tracked.backoff * options_.backoff_factor);
+    tracked.not_before = now + tracked.backoff;
+  }
+}
+
+ReconcileReport Controller::reconcile(double now) {
+  MECRA_CHECK_MSG(now >= last_now_, "reconcile time moved backwards");
+  last_now_ = now;
+  ReconcileReport report;
+
+  // Due repairs first: they free capacity the policy pass can use.
+  while (!repair_queue_.empty() && repair_queue_.begin()->first <= now) {
+    const graph::NodeId v = repair_queue_.begin()->second;
+    repair_queue_.erase(repair_queue_.begin());
+    orch_.repair_cloudlet(v);
+    ++metrics_.repairs;
+    report.repaired.push_back(v);
+  }
+  if (!report.repaired.empty()) {
+    // Fresh capacity invalidates every backoff decision.
+    for (auto& [id, tracked] : tracked_) {
+      tracked.dirty = true;
+      tracked.backoff = 0.0;
+      tracked.not_before = now;
+    }
+  }
+
+  if (options_.policy == ReaugmentPolicy::kPeriodic) {
+    if (now < next_batch_) return report;
+    while (next_batch_ <= now) next_batch_ += options_.period;
+  }
+
+  for (auto& [id, tracked] : tracked_) {
+    if (!tracked.dirty) continue;
+    if (options_.policy == ReaugmentPolicy::kBackoff &&
+        now < tracked.not_before) {
+      continue;
+    }
+    attempt(id, tracked, now, report);
+  }
+  return report;
+}
+
+}  // namespace mecra::orchestrator

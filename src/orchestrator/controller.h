@@ -1,0 +1,114 @@
+// Self-healing reconciler on top of the Orchestrator.
+//
+// The Orchestrator exposes mechanism (fail / repair / reaugment / revive);
+// this module supplies policy: a driver (the chaos simulator, an operator
+// shell, a live control plane) notifies the controller of events in
+// simulated or wall-clock time, and reconcile(now) restores every tracked
+// service toward its reliability expectation. Three reaugmentation
+// policies:
+//
+//   * kReactive  — attempt a top-up for every below-expectation service at
+//                  every reconcile call (lowest downtime, most attempts);
+//   * kPeriodic  — batch attempts at fixed period boundaries (amortizes
+//                  solver work under heavy failure churn);
+//   * kBackoff   — like reactive, but a service whose attempt FAILED to
+//                  restore the expectation is gated behind an exponential
+//                  backoff (initial * factor^n, capped), so hopeless
+//                  services (no capacity until something departs or a
+//                  repair lands) stop consuming solver time. Repairs reset
+//                  every gate, because fresh capacity changes the odds.
+//
+// Cloudlet outages are healed with a configurable MTTR: on_cloudlet_failed
+// schedules a repair at now + mttr, performed by the first reconcile at or
+// after that time. next_wakeup() tells drivers when scheduled work (a
+// repair, a batch boundary, a backoff retry) is due, so event loops can
+// merge it with their own event stream.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "orchestrator/orchestrator.h"
+
+namespace mecra::orchestrator {
+
+enum class ReaugmentPolicy : std::uint8_t { kReactive, kPeriodic, kBackoff };
+
+struct ControllerOptions {
+  ReaugmentPolicy policy = ReaugmentPolicy::kReactive;
+  /// kPeriodic: batch boundary spacing (first batch at t = period).
+  double period = 5.0;
+  /// kBackoff: gate after the n-th consecutive failed attempt is
+  /// min(backoff_max, backoff_initial * backoff_factor^(n-1)).
+  double backoff_initial = 1.0;
+  double backoff_factor = 2.0;
+  double backoff_max = 64.0;
+  /// Delay between a cloudlet outage and its scheduled repair.
+  double mttr = 10.0;
+  /// Attempt revive() for kDown services before topping up.
+  bool revive_down_services = true;
+};
+
+struct ControllerMetrics {
+  std::size_t repairs = 0;
+  std::size_t reaugment_attempts = 0;
+  std::size_t reaugment_successes = 0;  // expectation restored
+  std::size_t reaugment_failures = 0;   // still below after the attempt
+  std::size_t standbys_added = 0;
+  std::size_t revivals = 0;  // kDown services brought back up
+};
+
+/// What one reconcile() call actually did (for event traces).
+struct ReconcileReport {
+  std::vector<graph::NodeId> repaired;
+  std::size_t attempts = 0;
+  std::size_t standbys_added = 0;
+  std::size_t revived = 0;
+};
+
+class Controller {
+ public:
+  /// The orchestrator must outlive the controller.
+  explicit Controller(Orchestrator& orch, ControllerOptions options = {});
+
+  // --- event notifications from the driver ---
+  void on_admit(ServiceId id, double now);
+  void on_teardown(ServiceId id);
+  void on_instance_failed(ServiceId id, double now);
+  /// Schedules the cloudlet's repair at now + mttr and marks every tracked
+  /// service for a health check.
+  void on_cloudlet_failed(graph::NodeId v, double now);
+
+  /// Earliest time scheduled work (repair, batch boundary, backoff retry)
+  /// is due; +infinity when nothing is scheduled.
+  [[nodiscard]] double next_wakeup() const;
+
+  /// Performs every repair due at `now` and runs the reaugmentation policy.
+  /// `now` must not decrease across calls.
+  ReconcileReport reconcile(double now);
+
+  [[nodiscard]] const ControllerMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  struct TrackedService {
+    bool dirty = false;      // possibly below expectation; needs a check
+    double not_before = 0.0; // kBackoff gate
+    double backoff = 0.0;    // current gate width; 0 = no failed attempt yet
+  };
+
+  void attempt(ServiceId id, TrackedService& tracked, double now,
+               ReconcileReport& report);
+
+  Orchestrator& orch_;
+  ControllerOptions options_;
+  ControllerMetrics metrics_;
+  std::map<ServiceId, TrackedService> tracked_;
+  std::multimap<double, graph::NodeId> repair_queue_;
+  double next_batch_;  // kPeriodic only
+  double last_now_ = 0.0;
+};
+
+}  // namespace mecra::orchestrator

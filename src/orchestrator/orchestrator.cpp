@@ -40,6 +40,21 @@ Orchestrator::Orchestrator(mec::MecNetwork network, mec::VnfCatalog catalog,
   MECRA_CHECK(options_.l_hops >= 1);
 }
 
+Orchestrator::DownMask::DownMask(Orchestrator& orch) : orch_(orch) {
+  held_.reserve(orch_.down_cloudlets_.size());
+  for (graph::NodeId v : orch_.down_cloudlets_) {
+    const double residual = orch_.network_.residual(v);
+    if (residual > 0.0) {
+      orch_.network_.consume(v, residual);
+      held_.emplace_back(v, residual);
+    }
+  }
+}
+
+Orchestrator::DownMask::~DownMask() {
+  for (const auto& [v, amount] : held_) orch_.network_.release(v, amount);
+}
+
 const Service& Orchestrator::service(ServiceId id) const {
   auto it = services_.find(id);
   MECRA_CHECK_MSG(it != services_.end(), "unknown service id");
@@ -61,6 +76,9 @@ std::vector<ServiceId> Orchestrator::services() const {
 
 std::optional<ServiceId> Orchestrator::admit(const mec::SfcRequest& request,
                                              util::Rng& rng) {
+  // Down cloudlets present zero residual for the whole admission +
+  // augmentation sequence, so neither primaries nor standbys land there.
+  const DownMask mask(*this);
   auto primaries =
       admission::random_admission(network_, catalog_, request, rng);
   if (!primaries.has_value()) return std::nullopt;
@@ -118,8 +136,11 @@ void Orchestrator::promote_for_position(Service& svc,
       continue;
     }
     const std::uint32_t h = hops[inst.cloudlet];
-    if (h < best_hops ||
-        (h == best_hops && best != nullptr && inst.id < best->id)) {
+    // Deterministic: strictly nearer wins; hop ties go to the lowest
+    // instance id. An unreachable standby (disconnected topology) is still
+    // promotable when nothing nearer exists.
+    if (best == nullptr || h < best_hops ||
+        (h == best_hops && inst.id < best->id)) {
       best = &inst;
       best_hops = h;
     }
@@ -158,6 +179,8 @@ std::optional<InstanceId> Orchestrator::fail_instance(ServiceId service_id,
 
 void Orchestrator::fail_cloudlet(graph::NodeId v) {
   MECRA_CHECK(v < network_.num_nodes());
+  MECRA_CHECK_MSG(!down_cloudlets_.contains(v), "cloudlet is already down");
+  down_cloudlets_.insert(v);
   for (auto& [id, svc] : services_) {
     std::vector<std::pair<std::uint32_t, graph::NodeId>> lost_active;
     for (Instance& inst : svc.instances) {
@@ -177,6 +200,7 @@ void Orchestrator::fail_cloudlet(graph::NodeId v) {
 
 void Orchestrator::repair_cloudlet(graph::NodeId v) {
   MECRA_CHECK(v < network_.num_nodes());
+  down_cloudlets_.erase(v);
   for (auto& [id, svc] : services_) {
     std::erase_if(svc.instances, [&](const Instance& inst) {
       if (inst.cloudlet == v && inst.state == InstanceState::kFailed) {
@@ -189,6 +213,57 @@ void Orchestrator::repair_cloudlet(graph::NodeId v) {
     });
     (void)refresh_state(id);
   }
+}
+
+bool Orchestrator::is_cloudlet_down(graph::NodeId v) const {
+  MECRA_CHECK(v < network_.num_nodes());
+  return down_cloudlets_.contains(v);
+}
+
+std::vector<graph::NodeId> Orchestrator::down_cloudlets() const {
+  return {down_cloudlets_.begin(), down_cloudlets_.end()};
+}
+
+bool Orchestrator::revive(ServiceId service_id) {
+  Service& svc = service_mut(service_id);
+  for (std::uint32_t p = 0; p < svc.request.length(); ++p) {
+    bool active_running = false;
+    const Instance* standby = nullptr;
+    for (const Instance& inst : svc.instances) {
+      if (inst.chain_pos != p || inst.state != InstanceState::kRunning) {
+        continue;
+      }
+      if (inst.role == InstanceRole::kActive) active_running = true;
+      if (inst.role == InstanceRole::kStandby &&
+          (standby == nullptr || inst.id < standby->id)) {
+        standby = &inst;
+      }
+    }
+    if (active_running) continue;
+    if (standby != nullptr) {
+      promote_for_position(svc, p, standby->cloudlet);
+      continue;
+    }
+    // No running instance at all: place a fresh active on the up cloudlet
+    // with the largest residual that fits (ties: lowest node id).
+    const auto& fn = catalog_.function(svc.request.chain[p]);
+    graph::NodeId best = 0;
+    double best_residual = -1.0;
+    for (graph::NodeId u : network_.cloudlets()) {
+      if (down_cloudlets_.contains(u)) continue;
+      const double residual = network_.residual(u);
+      if (residual >= fn.cpu_demand && residual > best_residual) {
+        best = u;
+        best_residual = residual;
+      }
+    }
+    if (best_residual < 0.0) continue;  // nowhere to place; position stays down
+    network_.consume(best, fn.cpu_demand);
+    svc.instances.push_back(Instance{next_instance_++, p, best,
+                                     InstanceRole::kActive,
+                                     InstanceState::kRunning});
+  }
+  return refresh_state(service_id) != ServiceState::kDown;
 }
 
 std::size_t Orchestrator::reaugment(ServiceId service_id) {
@@ -240,7 +315,8 @@ std::size_t Orchestrator::reaugment(ServiceId service_id) {
           std::log(mec::function_reliability(fn.reliability, running[p]));
       if (gain <= best_gain) continue;
       for (graph::NodeId u : allowed[p]) {
-        if (network_.residual(u) >= fn.cpu_demand) {
+        if (!down_cloudlets_.contains(u) &&
+            network_.residual(u) >= fn.cpu_demand) {
           best_gain = gain;
           best_p = p;
           best_u = u;

@@ -11,21 +11,27 @@
 //   * fail_instance(...)        an instance dies; if it was the active one
 //                               a secondary is promoted (nearest-first, the
 //                               l-hop locality the paper motivates);
-//   * fail_cloudlet(v)          correlated outage: every instance at v dies;
+//   * fail_cloudlet(v)          correlated outage: every instance at v dies
+//                               and v stops accepting placements;
 //   * repair_cloudlet(v)        capacity returns (dead instances do not);
 //   * reaugment(service)        top the backup level back up to the
 //                               expectation after failures consumed it;
+//   * revive(service)           place fresh actives for positions that lost
+//                               every instance (a DOWN service recovers);
 //   * teardown(service)         release everything.
 //
 // Failed instances keep their capacity reserved until repaired or torn
 // down (a failed VM still occupies its slot until cleaned up); repairing a
-// cloudlet reclaims the slots of its dead instances.
+// cloudlet reclaims the slots of its dead instances. A cloudlet between
+// fail_cloudlet and repair_cloudlet is DOWN: admit, reaugment, and revive
+// all refuse to place new instances on it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/augmentation.h"
@@ -104,17 +110,33 @@ class Orchestrator {
 
   /// Kills every running instance hosted at `v` (across all services) and
   /// performs the same promotion logic per affected position. Capacity at
-  /// v stays reserved until repair_cloudlet.
+  /// v stays reserved until repair_cloudlet, and v refuses new placements
+  /// until then. Requires that v is not already down.
   void fail_cloudlet(graph::NodeId v);
 
   /// Reclaims the capacity held by FAILED instances at v (they are removed
-  /// from their services). Running instances are untouched.
+  /// from their services) and marks v as up again. Running instances are
+  /// untouched. Also valid for cloudlets that never went down (reclaims
+  /// slots of individually failed instances).
   void repair_cloudlet(graph::NodeId v);
+
+  /// True between fail_cloudlet(v) and repair_cloudlet(v).
+  [[nodiscard]] bool is_cloudlet_down(graph::NodeId v) const;
+  /// Currently-down cloudlets, ascending node id.
+  [[nodiscard]] std::vector<graph::NodeId> down_cloudlets() const;
 
   /// Places fresh standby instances until the service's CURRENT reliability
   /// reaches its expectation again (or capacity runs out). Returns the
-  /// number of standbys added.
+  /// number of standbys added. Down cloudlets are never chosen.
   std::size_t reaugment(ServiceId service);
+
+  /// Brings a kDown service back: every position with no running instance
+  /// gets a fresh ACTIVE instance on the up cloudlet with the largest
+  /// residual that fits (ties: lowest node id); positions with running
+  /// standbys but no active get a promotion. Positions that cannot be
+  /// placed stay down. Returns true when the service left kDown. Callers
+  /// typically follow up with reaugment() to restore redundancy.
+  bool revive(ServiceId service);
 
   /// Releases every slot (running or failed) of the service.
   void teardown(ServiceId service);
@@ -123,6 +145,21 @@ class Orchestrator {
   ServiceState refresh_state(ServiceId service);
 
  private:
+  /// Zeroes the residual of every down cloudlet for its lifetime so the
+  /// admission/augmentation paths (which only see residual capacities)
+  /// cannot place anything there; restores the held residual on exit.
+  class DownMask {
+   public:
+    explicit DownMask(Orchestrator& orch);
+    ~DownMask();
+    DownMask(const DownMask&) = delete;
+    DownMask& operator=(const DownMask&) = delete;
+
+   private:
+    Orchestrator& orch_;
+    std::vector<std::pair<graph::NodeId, double>> held_;
+  };
+
   Service& service_mut(ServiceId id);
   void promote_for_position(Service& svc, std::uint32_t chain_pos,
                             graph::NodeId failed_at);
@@ -131,6 +168,7 @@ class Orchestrator {
   mec::VnfCatalog catalog_;
   OrchestratorOptions options_;
   std::map<ServiceId, Service> services_;
+  std::set<graph::NodeId> down_cloudlets_;
   ServiceId next_service_ = 0;
   InstanceId next_instance_ = 0;
 };

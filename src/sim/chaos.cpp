@@ -1,0 +1,278 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <utility>
+
+#include "orchestrator/orchestrator.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mecra::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Independent child streams of the master seed; appending streams keeps the
+// existing ones stable.
+enum Stream : std::uint64_t {
+  kArrivalStream = 1,
+  kRequestStream = 2,
+  kHoldingStream = 3,
+  kInstanceFailureStream = 4,
+  kOutageStream = 5,
+};
+
+struct Departure {
+  double time;
+  orchestrator::ServiceId service;
+
+  bool operator>(const Departure& other) const { return time > other.time; }
+};
+
+/// Per-service availability accounting, integrated lazily between events.
+struct Tracked {
+  double last_observed = 0.0;
+  double held = 0.0;
+  double slo = 0.0;
+  double degraded = 0.0;
+  double down = 0.0;
+  bool is_down = false;
+  double down_since = 0.0;
+};
+
+}  // namespace
+
+ChaosReport run_chaos(const mec::MecNetwork& base_network,
+                      const mec::VnfCatalog& catalog,
+                      const ChaosConfig& config, std::uint64_t seed) {
+  MECRA_CHECK(config.arrival_rate > 0.0);
+  MECRA_CHECK(config.mean_holding_time > 0.0);
+  MECRA_CHECK(config.horizon > 0.0);
+  MECRA_CHECK(config.instance_failure_rate >= 0.0);
+  MECRA_CHECK(config.cloudlet_outage_rate >= 0.0);
+
+  orchestrator::OrchestratorOptions orch_options;
+  orch_options.l_hops = config.l_hops;
+  orch_options.augment = config.augment;
+  orch_options.algorithm = config.algorithm;
+  orchestrator::Orchestrator orch(base_network, catalog, orch_options);
+  orchestrator::Controller controller(orch, config.controller);
+
+  util::Rng arrival_rng = util::Rng(seed).child(kArrivalStream);
+  util::Rng request_rng = util::Rng(seed).child(kRequestStream);
+  util::Rng holding_rng = util::Rng(seed).child(kHoldingStream);
+  util::Rng ifail_rng = util::Rng(seed).child(kInstanceFailureStream);
+  util::Rng outage_rng = util::Rng(seed).child(kOutageStream);
+
+  ChaosReport report;
+  ChaosMetrics& m = report.metrics;
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+  std::map<orchestrator::ServiceId, Tracked> tracked;
+  double ttr_sum = 0.0;
+
+  auto record = [&](double t, ChaosEventKind kind, std::uint64_t subject) {
+    if (config.record_trace) report.trace.push_back({t, kind, subject});
+  };
+
+  // Integrates held / SLO / degraded / down time for every live service up
+  // to t, based on the state that held since the service's last observation.
+  auto observe = [&](double t) {
+    for (auto& [id, acct] : tracked) {
+      const double dt = t - acct.last_observed;
+      acct.last_observed = t;
+      if (dt <= 0.0) continue;
+      acct.held += dt;
+      const orchestrator::Service& svc = orch.service(id);
+      switch (svc.state) {
+        case orchestrator::ServiceState::kDown:
+          acct.down += dt;
+          break;
+        case orchestrator::ServiceState::kDegraded:
+          acct.degraded += dt;
+          break;
+        case orchestrator::ServiceState::kHealthy:
+          break;
+      }
+      if (svc.state != orchestrator::ServiceState::kDown &&
+          svc.current_reliability(catalog) >= svc.request.expectation) {
+        acct.slo += dt;
+      }
+    }
+  };
+
+  // Down-episode bookkeeping: call after every state-changing step.
+  auto note_transitions = [&](double now) {
+    for (auto& [id, acct] : tracked) {
+      const bool down =
+          orch.service(id).state == orchestrator::ServiceState::kDown;
+      if (down && !acct.is_down) {
+        acct.is_down = true;
+        acct.down_since = now;
+        ++m.down_episodes;
+      } else if (!down && acct.is_down) {
+        acct.is_down = false;
+        ++m.recovered_episodes;
+        ttr_sum += now - acct.down_since;
+      }
+    }
+  };
+
+  auto finish_service = [&](orchestrator::ServiceId id) {
+    const Tracked& acct = tracked.at(id);
+    m.total_held_time += acct.held;
+    m.slo_time += acct.slo;
+    m.degraded_time += acct.degraded;
+    m.down_time += acct.down;
+    orch.teardown(id);
+    controller.on_teardown(id);
+    tracked.erase(id);
+  };
+
+  auto reconcile = [&](double now) {
+    const orchestrator::ReconcileReport rec = controller.reconcile(now);
+    for (graph::NodeId v : rec.repaired) {
+      record(now, ChaosEventKind::kRepair, v);
+    }
+    if (rec.standbys_added > 0) {
+      record(now, ChaosEventKind::kReaugment, rec.standbys_added);
+    }
+    if (rec.revived > 0) {
+      record(now, ChaosEventKind::kRevive, rec.revived);
+    }
+    note_transitions(now);
+  };
+
+  double next_arrival = arrival_rng.exponential(1.0 / config.arrival_rate);
+  double next_ifail =
+      config.instance_failure_rate > 0.0
+          ? ifail_rng.exponential(1.0 / config.instance_failure_rate)
+          : kInf;
+  double next_outage =
+      config.cloudlet_outage_rate > 0.0
+          ? outage_rng.exponential(1.0 / config.cloudlet_outage_rate)
+          : kInf;
+  std::uint64_t request_id = 0;
+
+  for (;;) {
+    // Merged stream with a FIXED tie-break order (wakeup, departure,
+    // arrival, instance failure, outage) so the trace is deterministic.
+    const double wake = controller.next_wakeup();
+    const double departure =
+        departures.empty() ? kInf : departures.top().time;
+    double now = std::min({wake, departure, next_arrival, next_ifail,
+                           next_outage});
+    if (now >= config.horizon) break;
+
+    observe(now);
+    if (wake <= now) {
+      reconcile(now);
+      // A reconcile with no due work would spin: wakeup times strictly
+      // advance because repairs are popped and batch boundaries move.
+      continue;
+    }
+    if (departure <= now) {
+      const orchestrator::ServiceId id = departures.top().service;
+      departures.pop();
+      record(now, ChaosEventKind::kDeparture, id);
+      finish_service(id);
+      ++m.departed;
+      reconcile(now);
+      continue;
+    }
+    if (next_arrival <= now) {
+      next_arrival = now + arrival_rng.exponential(1.0 / config.arrival_rate);
+      ++m.arrivals;
+      mec::RequestParams rp = config.request;
+      rp.expectation = config.expectation;
+      const auto request = mec::random_request(
+          request_id++, catalog, orch.network().num_nodes(), rp, request_rng);
+      const auto admitted = orch.admit(request, request_rng);
+      if (!admitted.has_value()) {
+        ++m.blocked;
+        record(now, ChaosEventKind::kBlock, request.id);
+      } else {
+        ++m.admitted;
+        record(now, ChaosEventKind::kAdmit, *admitted);
+        tracked[*admitted].last_observed = now;
+        controller.on_admit(*admitted, now);
+        departures.push(Departure{
+            now + holding_rng.exponential(config.mean_holding_time),
+            *admitted});
+      }
+      reconcile(now);
+      continue;
+    }
+    if (next_ifail <= now) {
+      next_ifail =
+          now + ifail_rng.exponential(1.0 / config.instance_failure_rate);
+      // Victim: uniform over running instances, enumerated in (service id,
+      // instance id) order. No running instance -> the failure is a no-op.
+      std::vector<std::pair<orchestrator::ServiceId, orchestrator::InstanceId>>
+          running;
+      for (const orchestrator::ServiceId id : orch.services()) {
+        for (const orchestrator::Instance& inst : orch.service(id).instances) {
+          if (inst.state == orchestrator::InstanceState::kRunning) {
+            running.emplace_back(id, inst.id);
+          }
+        }
+      }
+      if (!running.empty()) {
+        const auto [svc_id, inst_id] = running[ifail_rng.index(running.size())];
+        (void)orch.fail_instance(svc_id, inst_id);
+        ++m.instance_failures;
+        record(now, ChaosEventKind::kInstanceFailure, inst_id);
+        controller.on_instance_failed(svc_id, now);
+        note_transitions(now);
+      }
+      reconcile(now);
+      continue;
+    }
+    // next_outage <= now.
+    next_outage =
+        now + outage_rng.exponential(1.0 / config.cloudlet_outage_rate);
+    std::vector<graph::NodeId> up;
+    for (const graph::NodeId v : orch.network().cloudlets()) {
+      if (!orch.is_cloudlet_down(v)) up.push_back(v);
+    }
+    if (!up.empty()) {
+      const graph::NodeId victim = up[outage_rng.index(up.size())];
+      orch.fail_cloudlet(victim);
+      ++m.cloudlet_outages;
+      record(now, ChaosEventKind::kCloudletOutage, victim);
+      controller.on_cloudlet_failed(victim, now);
+      note_transitions(now);
+    }
+    reconcile(now);
+  }
+
+  // Horizon: fold every live service and drain the network.
+  observe(config.horizon);
+  const std::vector<orchestrator::ServiceId> live = orch.services();
+  for (const orchestrator::ServiceId id : live) finish_service(id);
+  // Repair outstanding outages so their held (failed-instance) slots are
+  // reclaimed and conservation is checkable against the pristine network.
+  for (const graph::NodeId v : orch.down_cloudlets()) orch.repair_cloudlet(v);
+  m.final_total_residual = orch.network().total_residual();
+
+  const orchestrator::ControllerMetrics& cm = controller.metrics();
+  m.repairs = cm.repairs;
+  m.reaugment_attempts = cm.reaugment_attempts;
+  m.reaugment_successes = cm.reaugment_successes;
+  m.reaugment_failures = cm.reaugment_failures;
+  m.standbys_added = cm.standbys_added;
+  m.revivals = cm.revivals;
+  m.slo_attainment =
+      m.total_held_time > 0.0 ? m.slo_time / m.total_held_time : 1.0;
+  m.mean_time_to_recovery =
+      m.recovered_episodes > 0
+          ? ttr_sum / static_cast<double>(m.recovered_episodes)
+          : 0.0;
+  return report;
+}
+
+}  // namespace mecra::sim

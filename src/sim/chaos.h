@@ -1,0 +1,134 @@
+// Self-healing chaos loop: the dynamic workload regime of sim/dynamic
+// merged with continuous fault injection and automatic recovery.
+//
+// One MEC network serves a Poisson request stream through the
+// Orchestrator while two failure processes run alongside: instance
+// failures (Poisson; the victim is uniform over all running instances)
+// and cloudlet outages (Poisson; the victim is uniform over the up
+// cloudlets). A Controller watches service health after every event,
+// schedules cloudlet repairs with a configurable MTTR, and applies a
+// pluggable reaugmentation policy (reactive / periodic / backoff).
+//
+// The merged event stream is DETERMINISTIC: all stochastic draws come
+// from child streams of one master seed, ties between event types break
+// in a fixed order, and no wall-clock time enters control flow — the same
+// (network, catalog, config, seed) reproduces the event trace and every
+// metric bit for bit, provided the configured augmentation algorithm is
+// itself deterministic (the default matching heuristic is; a
+// FallbackAugmenter with a wall-clock deadline is not).
+//
+// Metrics the static benches cannot produce: per-service downtime and
+// time-in-degraded, mean time to recovery of down episodes, and SLO
+// attainment — the fraction of held service-time with
+// current_reliability >= rho_j.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/augmentation.h"
+#include "mec/network.h"
+#include "mec/request.h"
+#include "mec/vnf.h"
+#include "orchestrator/controller.h"
+
+namespace mecra::sim {
+
+enum class ChaosEventKind : std::uint8_t {
+  kAdmit,            // subject = service id
+  kBlock,            // subject = request id
+  kDeparture,        // subject = service id
+  kInstanceFailure,  // subject = instance id
+  kCloudletOutage,   // subject = cloudlet node id
+  kRepair,           // subject = cloudlet node id
+  kReaugment,        // subject = standbys added by the reconcile pass
+  kRevive,           // subject = services revived by the reconcile pass
+};
+
+struct ChaosEvent {
+  double time = 0.0;
+  ChaosEventKind kind = ChaosEventKind::kAdmit;
+  std::uint64_t subject = 0;
+
+  friend bool operator==(const ChaosEvent&, const ChaosEvent&) = default;
+};
+
+struct ChaosConfig {
+  /// Mean requests per unit time (Poisson).
+  double arrival_rate = 1.0;
+  /// Mean holding time of an admitted service (exponential).
+  double mean_holding_time = 20.0;
+  /// Simulated time horizon; arrivals and failures stop here.
+  double horizon = 100.0;
+  /// Reliability expectation applied to every request.
+  double expectation = 0.99;
+  mec::RequestParams request;
+  std::uint32_t l_hops = 1;
+  core::AugmentOptions augment;
+  /// Augmentation algorithm for admission and reaugmentation alike
+  /// (defaults to the matching heuristic when empty). Must never return a
+  /// capacity-violating plan — wrap risky chains in a FallbackAugmenter.
+  std::function<core::AugmentationResult(const core::BmcgapInstance&,
+                                         const core::AugmentOptions&)>
+      algorithm;
+  /// Global Poisson rate of single-instance failures (0 disables).
+  double instance_failure_rate = 0.5;
+  /// Global Poisson rate of whole-cloudlet outages (0 disables).
+  double cloudlet_outage_rate = 0.05;
+  orchestrator::ControllerOptions controller;
+  /// Record the merged event trace in the report (determinism tests).
+  bool record_trace = false;
+};
+
+struct ChaosMetrics {
+  std::size_t arrivals = 0;
+  std::size_t admitted = 0;
+  std::size_t blocked = 0;
+  std::size_t departed = 0;
+
+  std::size_t instance_failures = 0;
+  std::size_t cloudlet_outages = 0;
+  std::size_t repairs = 0;
+
+  // Mirrored from the controller at the end of the run.
+  std::size_t reaugment_attempts = 0;
+  std::size_t reaugment_successes = 0;
+  std::size_t reaugment_failures = 0;
+  std::size_t standbys_added = 0;
+  std::size_t revivals = 0;
+
+  /// Sum over services of the time they were held (admit -> departure or
+  /// horizon).
+  double total_held_time = 0.0;
+  /// Held time with the service up and current_reliability >= rho.
+  double slo_time = 0.0;
+  /// Held time in kDegraded (failed instances present, still serving).
+  double degraded_time = 0.0;
+  /// Held time in kDown (some position with no running instance).
+  double down_time = 0.0;
+  /// slo_time / total_held_time (1 when nothing was held).
+  double slo_attainment = 1.0;
+
+  std::size_t down_episodes = 0;
+  std::size_t recovered_episodes = 0;
+  /// Mean duration of recovered down episodes (0 when none recovered).
+  double mean_time_to_recovery = 0.0;
+
+  /// Residual after draining every live service at the horizon; equals the
+  /// pristine total residual when capacity accounting is conserved.
+  double final_total_residual = 0.0;
+};
+
+struct ChaosReport {
+  ChaosMetrics metrics;
+  std::vector<ChaosEvent> trace;  // empty unless config.record_trace
+};
+
+/// Runs the chaos loop on a COPY of `network` (the input is untouched).
+[[nodiscard]] ChaosReport run_chaos(const mec::MecNetwork& network,
+                                    const mec::VnfCatalog& catalog,
+                                    const ChaosConfig& config,
+                                    std::uint64_t seed);
+
+}  // namespace mecra::sim

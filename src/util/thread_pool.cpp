@@ -16,13 +16,22 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard lock(mutex_);
+  return stopping_;
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -30,7 +39,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   auto future = packaged.get_future();
   {
     std::lock_guard lock(mutex_);
-    MECRA_CHECK_MSG(!stopping_, "submit() on a stopping ThreadPool");
+    MECRA_CHECK_MSG(!stopping_, "submit() on a stopped ThreadPool");
     queue_.push_back(std::move(packaged));
   }
   cv_.notify_one();

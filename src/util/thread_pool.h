@@ -29,7 +29,17 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a task; the returned future rethrows any task exception.
+  /// Fails fast (throws util::CheckFailure) once stop() has begun — a
+  /// task submitted to a stopping pool would never run, and a silently
+  /// dropped future deadlocks its waiter.
   std::future<void> submit(std::function<void()> task);
+
+  /// Drains the queue and joins every worker. Idempotent; called by the
+  /// destructor. Already-queued tasks still run; new submits throw.
+  void stop();
+
+  /// True once stop() has begun (further submits will throw).
+  [[nodiscard]] bool stopped() const;
 
   /// Runs fn(i) for every i in [0, n), distributing contiguous blocks across
   /// the pool and blocking until all complete. The first exception thrown by
@@ -42,7 +52,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };

@@ -1,0 +1,141 @@
+// Tests for the chaos simulator: bit-identical determinism, capacity
+// conservation through the full fail/repair/reaugment/teardown cycle, and
+// sane availability accounting under and without fault injection.
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "sim/chaos.h"
+
+namespace mecra::sim {
+namespace {
+
+mec::MecNetwork small_network(std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::WaxmanParams wax;
+  wax.num_nodes = 40;
+  auto topo = graph::waxman(wax, rng);
+  return mec::MecNetwork::random(std::move(topo.graph), {}, rng);
+}
+
+mec::VnfCatalog small_catalog(std::uint64_t seed) {
+  util::Rng rng(seed + 1);
+  return mec::VnfCatalog::random({}, rng);
+}
+
+ChaosConfig small_config() {
+  ChaosConfig config;
+  config.arrival_rate = 1.0;
+  config.mean_holding_time = 8.0;
+  config.horizon = 30.0;
+  config.instance_failure_rate = 1.0;
+  config.cloudlet_outage_rate = 0.1;
+  config.controller.mttr = 5.0;
+  return config;
+}
+
+TEST(Chaos, SameSeedGivesBitIdenticalTraceAndMetrics) {
+  const auto network = small_network(42);
+  const auto catalog = small_catalog(42);
+  ChaosConfig config = small_config();
+  config.record_trace = true;
+
+  const ChaosReport a = run_chaos(network, catalog, config, 7);
+  const ChaosReport b = run_chaos(network, catalog, config, 7);
+
+  ASSERT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.trace, b.trace);  // exact double equality via operator==
+
+  const ChaosMetrics& ma = a.metrics;
+  const ChaosMetrics& mb = b.metrics;
+  EXPECT_EQ(ma.arrivals, mb.arrivals);
+  EXPECT_EQ(ma.admitted, mb.admitted);
+  EXPECT_EQ(ma.blocked, mb.blocked);
+  EXPECT_EQ(ma.instance_failures, mb.instance_failures);
+  EXPECT_EQ(ma.cloudlet_outages, mb.cloudlet_outages);
+  EXPECT_EQ(ma.repairs, mb.repairs);
+  EXPECT_EQ(ma.standbys_added, mb.standbys_added);
+  EXPECT_EQ(ma.total_held_time, mb.total_held_time);  // bit-identical
+  EXPECT_EQ(ma.slo_time, mb.slo_time);
+  EXPECT_EQ(ma.degraded_time, mb.degraded_time);
+  EXPECT_EQ(ma.down_time, mb.down_time);
+  EXPECT_EQ(ma.slo_attainment, mb.slo_attainment);
+  EXPECT_EQ(ma.mean_time_to_recovery, mb.mean_time_to_recovery);
+  EXPECT_EQ(ma.final_total_residual, mb.final_total_residual);
+}
+
+TEST(Chaos, DifferentSeedsDiverge) {
+  const auto network = small_network(42);
+  const auto catalog = small_catalog(42);
+  ChaosConfig config = small_config();
+  config.record_trace = true;
+  const ChaosReport a = run_chaos(network, catalog, config, 7);
+  const ChaosReport b = run_chaos(network, catalog, config, 8);
+  EXPECT_NE(a.trace, b.trace);
+}
+
+TEST(Chaos, CapacityIsConservedThroughTheFullCycle) {
+  const auto network = small_network(3);
+  const auto catalog = small_catalog(3);
+  const double pristine = network.total_residual();
+  const ChaosReport report = run_chaos(network, catalog, small_config(), 11);
+  EXPECT_GT(report.metrics.admitted, 0u);
+  EXPECT_GT(report.metrics.instance_failures, 0u);
+  EXPECT_NEAR(report.metrics.final_total_residual, pristine, 1e-6);
+}
+
+TEST(Chaos, NoFaultInjectionMeansNoDowntime) {
+  const auto network = small_network(5);
+  const auto catalog = small_catalog(5);
+  ChaosConfig config = small_config();
+  config.instance_failure_rate = 0.0;
+  config.cloudlet_outage_rate = 0.0;
+  const ChaosMetrics m = run_chaos(network, catalog, config, 13).metrics;
+  EXPECT_GT(m.admitted, 0u);
+  EXPECT_EQ(m.instance_failures, 0u);
+  EXPECT_EQ(m.cloudlet_outages, 0u);
+  EXPECT_EQ(m.repairs, 0u);
+  EXPECT_DOUBLE_EQ(m.down_time, 0.0);
+  EXPECT_DOUBLE_EQ(m.degraded_time, 0.0);
+  EXPECT_EQ(m.down_episodes, 0u);
+}
+
+TEST(Chaos, FaultInjectionCausesAndRecoversDowntime) {
+  const auto network = small_network(9);
+  const auto catalog = small_catalog(9);
+  ChaosConfig config = small_config();
+  config.instance_failure_rate = 4.0;
+  config.cloudlet_outage_rate = 0.5;
+  config.horizon = 40.0;
+  const ChaosMetrics m = run_chaos(network, catalog, config, 17).metrics;
+  EXPECT_GT(m.instance_failures, 0u);
+  EXPECT_GT(m.cloudlet_outages, 0u);
+  EXPECT_GT(m.repairs, 0u);
+  EXPECT_GT(m.standbys_added, 0u);
+  // The controller heals: reaugmentation restored at least one service.
+  EXPECT_GT(m.reaugment_successes, 0u);
+  EXPECT_LT(m.slo_attainment, 1.0);
+  // Accounting identities.
+  EXPECT_LE(m.slo_time, m.total_held_time + 1e-9);
+  EXPECT_LE(m.down_time + m.degraded_time, m.total_held_time + 1e-9);
+  EXPECT_GE(m.recovered_episodes, 0u);
+  EXPECT_LE(m.recovered_episodes, m.down_episodes);
+}
+
+TEST(Chaos, HeavierFaultsCannotImproveSloAttainment) {
+  const auto network = small_network(21);
+  const auto catalog = small_catalog(21);
+  ChaosConfig clean = small_config();
+  clean.instance_failure_rate = 0.0;
+  clean.cloudlet_outage_rate = 0.0;
+  ChaosConfig heavy = small_config();
+  heavy.instance_failure_rate = 6.0;
+  heavy.cloudlet_outage_rate = 0.5;
+  const double slo_clean =
+      run_chaos(network, catalog, clean, 23).metrics.slo_attainment;
+  const double slo_heavy =
+      run_chaos(network, catalog, heavy, 23).metrics.slo_attainment;
+  EXPECT_LE(slo_heavy, slo_clean + 1e-12);
+}
+
+}  // namespace
+}  // namespace mecra::sim

@@ -1,0 +1,128 @@
+// Tests for the deadline-aware fallback chain: tier order, deadline
+// fall-through, rejection of capacity-violating results, best-effort
+// degradation, and the orchestrator-algorithm adapter.
+#include <gtest/gtest.h>
+
+#include "core/fallback.h"
+#include "core/heuristic_matching.h"
+#include "core/validator.h"
+#include "test_fixtures.h"
+
+namespace mecra::core {
+namespace {
+
+TEST(Fallback, DefaultChainServesFromTheIlpTier) {
+  // rho = 0.98 is reachable on the tiny fixture (0.992 * 0.99 = 0.98208
+  // with 2 a- and 1 b-standby); the default 0.99 is not.
+  const auto f = test::tiny_fixture(1.0, /*expectation=*/0.98);
+  FallbackAugmenter augmenter;  // no deadline
+  const auto result = augmenter.augment(f.instance);
+  EXPECT_TRUE(validate(f.instance, result).feasible);
+  EXPECT_TRUE(result.expectation_met);
+  EXPECT_EQ(augmenter.calls(), 1u);
+  EXPECT_EQ(augmenter.best_effort_calls(), 0u);
+  ASSERT_EQ(augmenter.stats().size(), 4u);
+  EXPECT_EQ(augmenter.stats()[0].name, "ilp");
+  EXPECT_EQ(augmenter.stats()[0].served, 1u);
+  EXPECT_EQ(augmenter.stats()[1].attempts, 0u);  // chain stopped at tier 0
+}
+
+TEST(Fallback, NearZeroDeadlineFallsThroughToCheapestTier) {
+  const auto f = test::tiny_fixture(1.0, /*expectation=*/0.98);
+  FallbackAugmenter augmenter(FallbackOptions{.deadline_seconds = 1e-12});
+  const auto result = augmenter.augment(f.instance);
+  // The call still returns a usable, capacity-feasible plan...
+  EXPECT_TRUE(validate(f.instance, result).feasible);
+  EXPECT_TRUE(result.expectation_met);
+  // ...but the expensive tiers were skipped, not run: only the last-resort
+  // greedy tier actually executed.
+  const auto& stats = augmenter.stats();
+  EXPECT_EQ(stats[0].attempts, 0u);
+  EXPECT_GE(stats[0].timeouts, 1u);
+  EXPECT_EQ(stats[1].attempts, 0u);
+  EXPECT_EQ(stats[2].attempts, 0u);
+  EXPECT_EQ(stats[3].name, "greedy");
+  EXPECT_EQ(stats[3].attempts, 1u);
+  EXPECT_EQ(stats[3].served, 1u);
+}
+
+TEST(Fallback, CapacityViolatingTierIsRejectedAndChainContinues) {
+  const auto f = test::tiny_fixture(1.0, /*expectation=*/0.98);
+  // A hostile tier that over-places far beyond the residual capacity (the
+  // randomized algorithm's documented failure shape, exaggerated).
+  FallbackTier bad{"bad", [](const BmcgapInstance& instance,
+                             const AugmentOptions&, double) {
+                     AugmentationResult r;
+                     r.algorithm = "bad";
+                     for (int i = 0; i < 50; ++i) {
+                       r.placements.push_back({0, instance.cloudlets[0]});
+                     }
+                     finalize_result(instance, r);
+                     return r;
+                   }};
+  FallbackAugmenter augmenter(
+      {bad, FallbackAugmenter::make_tier("matching", augment_heuristic)});
+  const auto result = augmenter.augment(f.instance);
+  EXPECT_TRUE(validate(f.instance, result).feasible);
+  EXPECT_TRUE(result.expectation_met);
+  EXPECT_EQ(augmenter.stats()[0].infeasible, 1u);
+  EXPECT_EQ(augmenter.stats()[0].served, 0u);
+  EXPECT_EQ(augmenter.stats()[1].served, 1u);
+}
+
+TEST(Fallback, UnreachableExpectationDegradesToBestEffort) {
+  // K_a = 3, K_b = 2 cap the reachable reliability at ~0.9974 < 0.999.
+  const auto f = test::tiny_fixture(1.0, /*expectation=*/0.999);
+  FallbackAugmenter augmenter;
+  const auto result = augmenter.augment(f.instance);
+  EXPECT_TRUE(validate(f.instance, result).feasible);
+  EXPECT_FALSE(result.expectation_met);
+  EXPECT_GT(result.achieved_reliability, f.instance.initial_reliability);
+  EXPECT_EQ(augmenter.best_effort_calls(), 1u);
+  // Every tier ran and came up short; exactly one got credited.
+  std::size_t served = 0;
+  std::size_t unmet = 0;
+  for (const auto& s : augmenter.stats()) {
+    served += s.served;
+    unmet += s.unmet;
+  }
+  EXPECT_EQ(served, 1u);
+  EXPECT_EQ(unmet, 4u);
+}
+
+TEST(Fallback, NothingFeasibleReturnsEmptyFeasibleResult) {
+  auto f = test::tiny_fixture();
+  FallbackTier bad{"bad", [](const BmcgapInstance& instance,
+                             const AugmentOptions&, double) {
+                     AugmentationResult r;
+                     r.placements.push_back({0, instance.cloudlets[0]});
+                     r.placements.push_back({0, instance.cloudlets[0]});
+                     r.placements.push_back({0, instance.cloudlets[0]});
+                     finalize_result(instance, r);
+                     return r;
+                   }};
+  f.instance.residual = {0.0, 0.0};  // nothing fits anywhere
+  FallbackAugmenter augmenter({bad});
+  const auto result = augmenter.augment(f.instance);
+  EXPECT_EQ(result.algorithm, "fallback-empty");
+  EXPECT_TRUE(result.placements.empty());
+  EXPECT_TRUE(validate(f.instance, result).feasible);
+  EXPECT_EQ(augmenter.best_effort_calls(), 1u);
+}
+
+TEST(Fallback, AsAlgorithmAdapterAccumulatesStats) {
+  const auto f = test::tiny_fixture();
+  FallbackAugmenter augmenter;
+  const auto algorithm = augmenter.as_algorithm();
+  (void)algorithm(f.instance, {});
+  (void)algorithm(f.instance, {});
+  EXPECT_EQ(augmenter.calls(), 2u);
+  augmenter.reset_stats();
+  EXPECT_EQ(augmenter.calls(), 0u);
+  for (const auto& s : augmenter.stats()) {
+    EXPECT_EQ(s.attempts + s.served + s.timeouts + s.infeasible + s.unmet, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mecra::core

@@ -3,6 +3,9 @@
 // re-augmentation, and teardown conservation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "graph/topology.h"
 #include "orchestrator/orchestrator.h"
 
@@ -263,6 +266,126 @@ TEST(Orchestrator, FullOutageDrillAcrossManyServices) {
   for (ServiceId id : ids) orch.teardown(id);
   EXPECT_NEAR(orch.network().total_residual(), network.total_residual(),
               1e-6);
+}
+
+TEST(Orchestrator, ReaugmentWhenEveryNearbyCloudletIsFull) {
+  // One usable cloudlet sized so that admission fills it exactly
+  // (3x a @300 + 3x b @400 = 2100 for rho = 0.99). A lost standby then has
+  // nowhere to go until its dead slot is reclaimed.
+  World w;
+  w.network = mec::MecNetwork(graph::path_graph(3), {0.0, 2100.0, 0.0});
+  auto orch = make_orchestrator(w);
+  util::Rng rng(21);
+  const auto id = *orch.admit(w.request, rng);
+  ASSERT_DOUBLE_EQ(orch.network().residual(1), 0.0);
+
+  InstanceId standby = 0;
+  for (const auto& inst : orch.service(id).instances) {
+    if (inst.role == InstanceRole::kStandby) standby = inst.id;
+  }
+  (void)orch.fail_instance(id, standby);
+  EXPECT_EQ(orch.service(id).state, ServiceState::kDegraded);
+
+  // No repair: the failed slot still holds the capacity, so reaugment can
+  // place nothing and the service stays degraded.
+  EXPECT_EQ(orch.reaugment(id), 0u);
+  EXPECT_EQ(orch.service(id).state, ServiceState::kDegraded);
+  EXPECT_LT(orch.service(id).current_reliability(orch.catalog()), 0.99);
+}
+
+TEST(Orchestrator, FailCloudletHostingTheOnlyInstancesTakesServiceDown) {
+  World w;
+  w.network = mec::MecNetwork(graph::path_graph(3), {0.0, 2100.0, 0.0});
+  auto orch = make_orchestrator(w);
+  util::Rng rng(22);
+  const auto id = *orch.admit(w.request, rng);
+
+  orch.fail_cloudlet(1);
+  EXPECT_EQ(orch.service(id).state, ServiceState::kDown);
+  EXPECT_DOUBLE_EQ(orch.service(id).current_reliability(orch.catalog()), 0.0);
+  EXPECT_TRUE(orch.is_cloudlet_down(1));
+  EXPECT_EQ(orch.down_cloudlets(), (std::vector<graph::NodeId>{1}));
+
+  // Nothing to promote or place: revive fails while the world is down.
+  EXPECT_FALSE(orch.revive(id));
+  EXPECT_EQ(orch.service(id).state, ServiceState::kDown);
+
+  // After repair, revive restores actives and reaugment the expectation.
+  orch.repair_cloudlet(1);
+  EXPECT_TRUE(orch.revive(id));
+  EXPECT_NE(orch.service(id).state, ServiceState::kDown);
+  (void)orch.reaugment(id);
+  EXPECT_GE(orch.service(id).current_reliability(orch.catalog()),
+            0.99 - 1e-9);
+}
+
+TEST(Orchestrator, PromotionBreaksHopTiesByLowestInstanceId) {
+  // Triangle of three single-slot cloudlets and a one-function chain with
+  // rho = 0.985: 1 active + 2 standbys, one per cloudlet. When the active
+  // fails, both standbys are exactly one hop away — the tie must go to the
+  // lowest instance id, deterministically.
+  mec::MecNetwork network(graph::complete_graph(3), {300.0, 300.0, 300.0});
+  mec::VnfCatalog catalog({{0, "a", 0.8, 300.0}});
+  mec::SfcRequest request;
+  request.chain = {0};
+  request.expectation = 0.985;  // needs 3 instances: 1 - 0.2^3 = 0.992
+
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Orchestrator orch(network, catalog, {});
+    util::Rng rng(seed);
+    const auto id = orch.admit(request, rng);
+    ASSERT_TRUE(id.has_value());
+    ASSERT_EQ(orch.service(*id).instances.size(), 3u);
+
+    InstanceId active = 0;
+    InstanceId lowest_standby = std::numeric_limits<InstanceId>::max();
+    for (const auto& inst : orch.service(*id).instances) {
+      if (inst.role == InstanceRole::kActive) active = inst.id;
+      if (inst.role == InstanceRole::kStandby) {
+        lowest_standby = std::min(lowest_standby, inst.id);
+      }
+    }
+    const auto promoted = orch.fail_instance(*id, active);
+    ASSERT_TRUE(promoted.has_value());
+    EXPECT_EQ(*promoted, lowest_standby);
+  }
+}
+
+TEST(Orchestrator, ReaugmentAndReviveSkipDownCloudlets) {
+  // Cloudlets at 1 and 2, one hop apart. With 2 down, every replacement
+  // must land on 1; after repair, 2 becomes placeable again.
+  World w;
+  auto orch = make_orchestrator(w);
+  util::Rng rng(23);
+  const auto id = *orch.admit(w.request, rng);
+
+  orch.fail_cloudlet(2);
+  (void)orch.revive(id);  // re-place anything position 2's outage killed
+  (void)orch.reaugment(id);
+  for (const auto& inst : orch.service(id).instances) {
+    if (inst.state == InstanceState::kRunning) {
+      EXPECT_NE(inst.cloudlet, 2u);
+    }
+  }
+
+  orch.repair_cloudlet(2);
+  EXPECT_FALSE(orch.is_cloudlet_down(2));
+  EXPECT_TRUE(orch.down_cloudlets().empty());
+}
+
+TEST(Orchestrator, AdmitNeverPlacesOnDownCloudlets) {
+  World w;
+  auto orch = make_orchestrator(w);
+  orch.fail_cloudlet(2);
+  util::Rng rng(24);
+  const auto id = orch.admit(w.request, rng);
+  // Cloudlet 1 alone has 3000 MHz; the request needs 2100 — admissible.
+  ASSERT_TRUE(id.has_value());
+  for (const auto& inst : orch.service(*id).instances) {
+    EXPECT_EQ(inst.cloudlet, 1u);
+  }
+  // The down cloudlet's capacity is untouched.
+  EXPECT_DOUBLE_EQ(orch.network().residual(2), 3000.0);
 }
 
 }  // namespace

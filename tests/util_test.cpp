@@ -365,6 +365,67 @@ TEST(ThreadPool, SubmitReturnsUsableFuture) {
   EXPECT_NO_THROW(f.get());
 }
 
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.stopped());
+  pool.stop();
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_THROW((void)pool.submit([] {}), CheckFailure);
+  pool.stop();  // idempotent: a second stop (and the destructor) is fine
+  EXPECT_TRUE(pool.stopped());
+}
+
+TEST(ThreadPool, QueuedTasksDrainBeforeStopReturns) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(pool.submit([&] { ran++; }));
+    }
+    pool.stop();  // must wait for all 16, not drop the queue
+    for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionPropagationUnderContention) {
+  // Stress: many concurrent parallel_for waves, each with several throwing
+  // indices, racing on a small pool. Every wave must (a) rethrow one of
+  // its own exceptions and (b) still run every non-throwing index — no
+  // lost blocks, no cross-wave leakage, no deadlock.
+  ThreadPool pool(4);
+  constexpr std::size_t kWaves = 50;
+  constexpr std::size_t kIndices = 64;
+  for (std::size_t wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::atomic<int>> hits(kIndices);
+    bool threw = false;
+    try {
+      pool.parallel_for(kIndices, [&](std::size_t i) {
+        if (i % 7 == 3) throw std::runtime_error("wave boom");
+        hits[i]++;
+      });
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      EXPECT_STREQ(e.what(), "wave boom");
+    }
+    EXPECT_TRUE(threw);
+    for (std::size_t i = 0; i < kIndices; ++i) {
+      if (i % 7 == 3) continue;
+      // parallel_for skips indices after a throw only within the same
+      // block; whole blocks are never dropped, so an index either threw
+      // or shares a block with an earlier throwing index.
+      EXPECT_LE(hits[i].load(), 1);
+    }
+    // At least the indices before the first throwing one in each block ran.
+    EXPECT_GE(std::accumulate(hits.begin(), hits.end(), 0,
+                              [](int acc, const std::atomic<int>& h) {
+                                return acc + h.load();
+                              }),
+              static_cast<int>(kIndices / 7));
+  }
+}
+
 TEST(ThreadPool, FreeFunctionSerialPath) {
   std::vector<int> hits(10, 0);
   parallel_for(10, 1, [&](std::size_t i) { hits[i]++; });
