@@ -1,8 +1,12 @@
 // Solver ablation: what the MILP engineering buys. Runs the exact ILP over
 // hard instances (long chains, tight capacity) with MIR cuts and the
-// heuristic warm start independently disabled, reporting nodes explored
-// and wall time. (DESIGN.md S4 calls these out as the two levers that took
-// worst-case instances from 200k nodes / ~10 s to hundreds of nodes.)
+// heuristic warm start independently disabled, reporting nodes explored,
+// LP pivots, warm-hit rate, and wall time. (DESIGN.md S4 calls the first
+// two out as the levers that took worst-case instances from 200k nodes /
+// ~10 s to hundreds of nodes.) Two further variants disable the solver
+// fast path's levers — warm LP re-solves and partial pricing — one at a
+// time, so the BENCH_solver.json speedup can be attributed to each piece
+// (DESIGN.md "Solver fast path").
 #include <algorithm>
 #include <iostream>
 
@@ -24,6 +28,10 @@ struct Variant {
   const char* name;
   bool mir_cuts;
   bool warm_start;
+  // Solver fast-path levers (DESIGN.md "Solver fast path"): LP warm
+  // re-solves at child nodes and partial (windowed) pricing.
+  bool warm_lp = true;
+  bool partial_pricing = true;
 };
 
 }  // namespace
@@ -36,7 +44,7 @@ int main(int argc, char** argv) {
                                  sim::trials_from_env(10))));
   const double time_limit = args.get_double("time-limit", 5.0);
 
-  std::cout << "=== Solver ablation: MIR cuts x warm start ===\n"
+  std::cout << "=== Solver ablation: MIR cuts x warm start x fast path ===\n"
             << "instances: SFC length 20, residual 25%, " << trials
             << " seeds, " << time_limit << "s cap per solve\n\n";
 
@@ -45,13 +53,21 @@ int main(int argc, char** argv) {
       {"cuts only", true, false},
       {"warm start only", false, true},
       {"neither", false, false},
+      // Fast-path ablations on top of the full configuration: disable the
+      // LP warm re-solves and the partial pricing independently so the
+      // speedup in BENCH_solver.json can be attributed to each piece.
+      {"... cold LP re-solves", true, true, /*warm_lp=*/false, true},
+      {"... full-scan pricing", true, true, true, /*partial_pricing=*/false},
   };
 
   util::Table table({"variant", "mean nodes", "max nodes", "mean ms",
-                     "max ms", "timeouts"});
+                     "max ms", "mean LP it", "warm hit%", "timeouts"});
   for (const Variant& variant : variants) {
     util::Accumulator nodes;
     util::Accumulator ms;
+    util::Accumulator lp_iters;
+    std::size_t warm_attempts = 0;
+    std::size_t warm_hits = 0;
     std::size_t timeouts = 0;
     for (std::size_t t = 0; t < trials; ++t) {
       sim::ScenarioParams params;
@@ -85,19 +101,31 @@ int main(int argc, char** argv) {
 
       ilp::IlpOptions opt;
       opt.time_limit_seconds = time_limit;
+      opt.warm_lp = variant.warm_lp;
+      if (!variant.partial_pricing) {
+        opt.lp_options.pricing_window = static_cast<std::size_t>(-1);
+      }
       util::Timer timer;
       const auto sol = ilp::BranchAndBoundSolver(opt).solve(
           agg.model, agg.is_integer, warm);
       ms.add(timer.elapsed_ms());
       nodes.add(static_cast<double>(sol.nodes_explored));
+      lp_iters.add(static_cast<double>(sol.lp_iterations));
+      warm_attempts += sol.warm_attempts;
+      warm_hits += sol.warm_hits;
       if (sol.status == ilp::IlpStatus::kFeasible ||
           sol.status == ilp::IlpStatus::kLimit) {
         ++timeouts;
       }
     }
+    const double hit_pct =
+        warm_attempts == 0 ? 0.0
+                           : 100.0 * static_cast<double>(warm_hits) /
+                                 static_cast<double>(warm_attempts);
     table.add_row({std::string(variant.name), util::fmt(nodes.mean(), 0),
                    util::fmt(nodes.max(), 0), util::fmt(ms.mean(), 1),
-                   util::fmt(ms.max(), 1),
+                   util::fmt(ms.max(), 1), util::fmt(lp_iters.mean(), 0),
+                   util::fmt(hit_pct, 1),
                    std::to_string(timeouts) + "/" + std::to_string(trials)});
   }
   table.print(std::cout);

@@ -3,6 +3,8 @@
 // runs of the exact algorithm.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "core/ilp_exact.h"
 #include "ilp/branch_and_bound.h"
 #include "lp/simplex.h"
@@ -54,14 +56,72 @@ void BM_BranchAndBoundExact(benchmark::State& state) {
   const auto s = scenario_for(static_cast<std::size_t>(state.range(0)), 0.25);
   core::AugmentOptions opt;
   opt.ilp.time_limit_seconds = 2.0;
+  std::size_t nodes = 0;
+  std::size_t warm_attempts = 0;
+  std::size_t warm_hits = 0;
   for (auto _ : state) {
     auto r = core::augment_ilp(s.instance, opt);
     benchmark::DoNotOptimize(r.achieved_reliability);
+    nodes += r.solver_nodes;
+    warm_attempts += r.solver_warm_attempts;
+    warm_hits += r.solver_warm_hits;
   }
   state.counters["items"] = static_cast<double>(s.instance.num_items());
+  // Node throughput + warm-start hit rate: lets ablation_solver and the
+  // perf snapshot attribute wall-time changes to search size vs node cost.
+  state.counters["nodes/s"] = benchmark::Counter(
+      static_cast<double>(nodes), benchmark::Counter::kIsRate);
+  state.counters["warm_hit%"] =
+      warm_attempts == 0 ? 0.0
+                         : 100.0 * static_cast<double>(warm_hits) /
+                               static_cast<double>(warm_attempts);
 }
 BENCHMARK(BM_BranchAndBoundExact)->Arg(4)->Arg(8)->Arg(12)
     ->Unit(benchmark::kMillisecond);
+
+// Warm-started re-solve after a single-bound tightening — the exact
+// branch-and-bound child-node situation. Measures resolve() against the
+// BMCGAP aggregated relaxation with the parent's exported basis; compare
+// with BM_SimplexAggregatedRelaxation for the cold-solve cost it replaces.
+void BM_SimplexWarmResolve(benchmark::State& state) {
+  const auto s = scenario_for(static_cast<std::size_t>(state.range(0)), 0.25);
+  auto model = core::build_aggregated_model(s.instance);
+  lp::SimplexSolver solver;
+  const lp::Solution root = solver.solve(model.model);
+  MECRA_CHECK(root.optimal() && root.has_basis);
+  // Tighten the first fractional integer variable's upper bound (floor
+  // side), as the down child of the root node would.
+  lp::VarId branch = 0;
+  double floor_val = 0.0;
+  for (lp::VarId v = 0; v < model.model.num_variables(); ++v) {
+    if (!model.is_integer[v]) continue;
+    const double frac = root.x[v] - std::floor(root.x[v]);
+    if (frac > 1e-6 && frac < 1.0 - 1e-6) {
+      branch = v;
+      floor_val = std::floor(root.x[v]);
+      break;
+    }
+  }
+  const double old_upper = model.model.variable(branch).upper;
+  std::size_t warm = 0;
+  std::size_t solves = 0;
+  for (auto _ : state) {
+    model.model.set_bounds(branch, model.model.variable(branch).lower,
+                           floor_val);
+    auto sol = solver.resolve(model.model, root.basis);
+    benchmark::DoNotOptimize(sol.objective);
+    warm += sol.warm_started ? 1 : 0;
+    ++solves;
+    model.model.set_bounds(branch, model.model.variable(branch).lower,
+                           old_upper);
+  }
+  state.counters["warm_hit%"] =
+      solves == 0 ? 0.0
+                  : 100.0 * static_cast<double>(warm) /
+                        static_cast<double>(solves);
+  state.counters["vars"] = static_cast<double>(model.model.num_variables());
+}
+BENCHMARK(BM_SimplexWarmResolve)->Arg(4)->Arg(8)->Arg(12)->Arg(20);
 
 }  // namespace
 

@@ -66,6 +66,12 @@ struct AugmentationResult {
 
   /// Branch-and-bound nodes (ILP) / simplex iterations diagnostics.
   std::size_t solver_nodes = 0;
+  /// Total simplex pivots across every node LP (augment_ilp only).
+  std::size_t solver_lp_iterations = 0;
+  /// Warm-started node LPs attempted / succeeded (augment_ilp only; see
+  /// ilp::IlpSolution for semantics).
+  std::size_t solver_warm_attempts = 0;
+  std::size_t solver_warm_hits = 0;
   /// Sum of the marginal gains of the placed items.
   double objective_gain = 0.0;
 };

@@ -205,6 +205,9 @@ AugmentationResult augment_ilp(const BmcgapInstance& instance,
   ilp::BranchAndBoundSolver solver(options.ilp);
   const ilp::IlpSolution sol = solver.solve(agg.model, agg.is_integer, warm);
   result.solver_nodes = sol.nodes_explored;
+  result.solver_lp_iterations = sol.lp_iterations;
+  result.solver_warm_attempts = sol.warm_attempts;
+  result.solver_warm_hits = sol.warm_hits;
 
   if (sol.has_solution()) {
     for (std::size_t i = 0; i < instance.functions.size(); ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <queue>
 
 #include "util/timer.h"
@@ -12,12 +13,25 @@ namespace mecra::ilp {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// One branching decision relative to the parent node. Nodes reconstruct
+/// their full bound vectors by walking the parent chain; because every
+/// branch strictly tightens the touched bound, the deltas along a chain can
+/// be combined with min/max in any order.
+struct BoundDelta {
+  std::int32_t parent;  // arena index of the parent delta; -1 = root
+  lp::VarId var;
+  double value;
+  bool is_upper;  // true: upper := value (floor side); false: lower (ceil)
+};
+
+/// Queue entry: O(1) words plus a shared parent-basis handle — no per-node
+/// bound vectors (IlpSolution::full_bound_copies counts any regression).
 struct Node {
   /// Parent LP bound in MINIMIZATION terms (lower is more promising).
   double bound;
-  std::size_t depth;
-  std::vector<double> lower;
-  std::vector<double> upper;
+  std::uint32_t depth;
+  std::int32_t delta;  // arena index of this node's last BoundDelta; -1 root
+  std::shared_ptr<const lp::Basis> basis;  // parent's optimal basis
 };
 
 struct NodeOrder {
@@ -52,6 +66,7 @@ IlpSolution BranchAndBoundSolver::solve(
     const std::vector<double>& warm_start) const {
   MECRA_CHECK(is_integer.size() == model.num_variables());
 
+  const std::size_t n = model.num_variables();
   const double sense = (model.sense() == lp::Sense::kMaximize) ? -1.0 : 1.0;
   const util::Timer timer;
   const std::size_t max_nodes =
@@ -68,10 +83,10 @@ IlpSolution BranchAndBoundSolver::solve(
   double worst_open_bound = kInf;  // best bound among abandoned nodes
 
   if (!warm_start.empty()) {
-    MECRA_CHECK(warm_start.size() == model.num_variables());
+    MECRA_CHECK(warm_start.size() == n);
     MECRA_CHECK_MSG(model.max_violation(warm_start) <= 1e-6,
                     "warm start must be feasible");
-    for (lp::VarId v = 0; v < model.num_variables(); ++v) {
+    for (lp::VarId v = 0; v < n; ++v) {
       if (is_integer[v]) {
         MECRA_CHECK_MSG(
             std::abs(warm_start[v] - std::round(warm_start[v])) <= 1e-6,
@@ -81,6 +96,48 @@ IlpSolution BranchAndBoundSolver::solve(
     incumbent = sense * model.objective_value(warm_start);
     incumbent_x = warm_start;
   }
+
+  // Root bounds: integer variables pre-rounded inward. These are the ONLY
+  // full bound vectors of the solve; every node is a delta against them.
+  std::vector<double> root_lo(n), root_hi(n);
+  for (lp::VarId v = 0; v < n; ++v) {
+    const auto& var = model.variable(v);
+    root_lo[v] = is_integer[v] ? std::ceil(var.lower - 1e-9) : var.lower;
+    root_hi[v] = is_integer[v] && var.upper != lp::kInfinity
+                     ? std::floor(var.upper + 1e-9)
+                     : var.upper;
+    if (root_lo[v] > root_hi[v]) {
+      out.status = IlpStatus::kInfeasible;
+      return out;
+    }
+    work.set_bounds(v, root_lo[v], root_hi[v]);
+  }
+
+  // Per-node bound reconstruction state: cur_lo/cur_hi mirror `work` and
+  // equal the root bounds except on `touched` variables.
+  std::vector<double> cur_lo = root_lo;
+  std::vector<double> cur_hi = root_hi;
+  std::vector<lp::VarId> touched;
+  std::vector<BoundDelta> arena;
+  auto apply_node_bounds = [&](std::int32_t delta_idx) {
+    for (lp::VarId v : touched) {
+      cur_lo[v] = root_lo[v];
+      cur_hi[v] = root_hi[v];
+      work.set_bounds(v, root_lo[v], root_hi[v]);
+    }
+    touched.clear();
+    for (std::int32_t i = delta_idx; i >= 0;
+         i = arena[static_cast<std::size_t>(i)].parent) {
+      const BoundDelta& d = arena[static_cast<std::size_t>(i)];
+      if (d.is_upper) {
+        cur_hi[d.var] = std::min(cur_hi[d.var], d.value);
+      } else {
+        cur_lo[d.var] = std::max(cur_lo[d.var], d.value);
+      }
+      touched.push_back(d.var);
+    }
+    for (lp::VarId v : touched) work.set_bounds(v, cur_lo[v], cur_hi[v]);
+  };
 
   // A node whose bound cannot beat the incumbent by more than the gap
   // tolerances is pruned.
@@ -93,56 +150,49 @@ IlpSolution BranchAndBoundSolver::solve(
   // Dive-and-fix: round every integer variable of `relaxed` to the nearest
   // integer inside the node bounds, pin it, and re-solve the LP for the
   // continuous remainder. Any optimal re-solve is an integer-feasible
-  // incumbent candidate. Falls back to flooring when rounding is infeasible.
+  // incumbent candidate. Falls back to flooring when rounding is
+  // infeasible. Only integer-variable bounds are touched in `work` (the
+  // continuous ones already carry the node bounds) and they are restored
+  // before returning. The fixed LP warm-starts from the node's own optimal
+  // basis when one is available (a pure bound change, so resolve applies);
+  // these heuristic solves are not counted as warm_attempts, which track
+  // node relaxations only.
   auto try_rounding = [&](const std::vector<double>& relaxed,
-                          const std::vector<double>& lo,
-                          const std::vector<double>& hi) {
+                          const lp::Basis* node_basis) {
     for (int attempt = 0; attempt < 2; ++attempt) {
-      for (lp::VarId v = 0; v < model.num_variables(); ++v) {
-        if (!is_integer[v]) {
-          work.set_bounds(v, lo[v], hi[v]);
-          continue;
-        }
+      for (lp::VarId v = 0; v < n; ++v) {
+        if (!is_integer[v]) continue;
         double r = attempt == 0 ? std::round(relaxed[v])
                                 : std::floor(relaxed[v] + 1e-9);
-        r = std::clamp(r, lo[v], hi[v] == lp::kInfinity ? r : hi[v]);
+        // Clamp into the node box one side at a time: hi can be +inf, and
+        // std::clamp(r, lo, hi) is UB whenever lo > hi substitutes (the
+        // old `hi == inf ? r : hi` argument made exactly that possible).
+        r = std::max(r, cur_lo[v]);
+        if (cur_hi[v] != lp::kInfinity) r = std::min(r, cur_hi[v]);
         work.set_bounds(v, r, r);
       }
-      const lp::Solution fixed = lp_solver.solve(work);
+      const lp::Solution fixed = node_basis != nullptr
+                                     ? lp_solver.resolve(work, *node_basis)
+                                     : lp_solver.solve(work);
+      out.lp_iterations += fixed.iterations;
       if (!fixed.optimal()) continue;
       const double obj = sense * model.objective_value(fixed.x);
       if (obj < incumbent) {
         incumbent = obj;
         incumbent_x = fixed.x;
-        for (lp::VarId v = 0; v < model.num_variables(); ++v) {
+        for (lp::VarId v = 0; v < n; ++v) {
           if (is_integer[v]) incumbent_x[v] = std::round(incumbent_x[v]);
         }
       }
-      return;  // nearest-rounding worked; no need for the floor pass
+      break;  // nearest-rounding worked; no need for the floor pass
+    }
+    for (lp::VarId v = 0; v < n; ++v) {
+      if (is_integer[v]) work.set_bounds(v, cur_lo[v], cur_hi[v]);
     }
   };
 
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
-  {
-    Node root;
-    root.bound = -kInf;
-    root.depth = 0;
-    root.lower.resize(model.num_variables());
-    root.upper.resize(model.num_variables());
-    for (lp::VarId v = 0; v < model.num_variables(); ++v) {
-      const auto& var = model.variable(v);
-      // Integer variables get their bounds pre-rounded inward.
-      root.lower[v] = is_integer[v] ? std::ceil(var.lower - 1e-9) : var.lower;
-      root.upper[v] = is_integer[v] && var.upper != lp::kInfinity
-                          ? std::floor(var.upper + 1e-9)
-                          : var.upper;
-      if (root.lower[v] > root.upper[v]) {
-        out.status = IlpStatus::kInfeasible;
-        return out;
-      }
-    }
-    open.push(std::move(root));
-  }
+  open.push(Node{-kInf, 0, -1, nullptr});
 
   bool hit_limit = false;
   bool root_unbounded = false;
@@ -162,10 +212,17 @@ IlpSolution BranchAndBoundSolver::solve(
     }
     ++out.nodes_explored;
 
-    for (lp::VarId v = 0; v < model.num_variables(); ++v) {
-      work.set_bounds(v, node.lower[v], node.upper[v]);
+    apply_node_bounds(node.delta);
+
+    lp::Solution rel;
+    if (options_.warm_lp && node.basis != nullptr) {
+      ++out.warm_attempts;
+      rel = lp_solver.resolve(work, *node.basis);
+      if (rel.warm_started) ++out.warm_hits;
+    } else {
+      rel = lp_solver.solve(work);
     }
-    const lp::Solution rel = lp_solver.solve(work);
+    out.lp_iterations += rel.iterations;
     if (rel.status == lp::SolveStatus::kInfeasible) continue;
     if (rel.status == lp::SolveStatus::kUnbounded) {
       if (node.depth == 0) root_unbounded = true;
@@ -181,9 +238,9 @@ IlpSolution BranchAndBoundSolver::solve(
     if (incumbent < kInf && dominated(bound)) continue;
 
     // Find the most fractional integer variable.
-    lp::VarId branch_var = static_cast<lp::VarId>(model.num_variables());
+    lp::VarId branch_var = static_cast<lp::VarId>(n);
     double best_frac_score = options_.integrality_tol;
-    for (lp::VarId v = 0; v < model.num_variables(); ++v) {
+    for (lp::VarId v = 0; v < n; ++v) {
       if (!is_integer[v]) continue;
       const double x = rel.x[v];
       const double frac = x - std::floor(x);
@@ -194,10 +251,10 @@ IlpSolution BranchAndBoundSolver::solve(
       }
     }
 
-    if (branch_var == model.num_variables()) {
+    if (branch_var == n) {
       // Integral: snap and accept as incumbent.
       std::vector<double> x = rel.x;
-      for (lp::VarId v = 0; v < model.num_variables(); ++v) {
+      for (lp::VarId v = 0; v < n; ++v) {
         if (is_integer[v]) x[v] = std::round(x[v]);
       }
       const double obj = sense * model.objective_value(x);
@@ -213,25 +270,32 @@ IlpSolution BranchAndBoundSolver::solve(
     if (options_.rounding_period != 0 &&
         (incumbent == kInf ||
          out.nodes_explored % options_.rounding_period == 0)) {
-      try_rounding(rel.x, node.lower, node.upper);
+      try_rounding(rel.x, options_.warm_lp && rel.has_basis ? &rel.basis
+                                                            : nullptr);
       if (dominated(bound)) continue;  // the heuristic closed this node
     }
 
-    const double xv = rel.x[branch_var];
-    Node down = node;
-    down.bound = bound;
-    down.depth = node.depth + 1;
-    down.upper[branch_var] = std::floor(xv);
-    Node up = std::move(node);
-    up.bound = bound;
-    up.depth = down.depth;
-    up.lower[branch_var] = std::floor(xv) + 1.0;
-    if (down.lower[branch_var] <= down.upper[branch_var]) {
-      open.push(std::move(down));
+    // Branch: both children inherit this node's optimal basis for their
+    // warm re-solve and record a one-bound delta in the arena.
+    std::shared_ptr<const lp::Basis> child_basis;
+    if (options_.warm_lp && rel.has_basis) {
+      child_basis = std::make_shared<lp::Basis>(std::move(rel.basis));
     }
-    if (up.upper[branch_var] == lp::kInfinity ||
-        up.lower[branch_var] <= up.upper[branch_var]) {
-      open.push(std::move(up));
+    const double xv = rel.x[branch_var];
+    const double fl = std::floor(xv);
+    const std::uint32_t child_depth = node.depth + 1;
+    if (cur_lo[branch_var] <= fl) {  // down child: x <= floor(xv)
+      arena.push_back(BoundDelta{node.delta, branch_var, fl, true});
+      open.push(Node{bound, child_depth,
+                     static_cast<std::int32_t>(arena.size() - 1),
+                     child_basis});
+    }
+    if (cur_hi[branch_var] == lp::kInfinity ||
+        fl + 1.0 <= cur_hi[branch_var]) {  // up child: x >= floor(xv) + 1
+      arena.push_back(BoundDelta{node.delta, branch_var, fl + 1.0, false});
+      open.push(Node{bound, child_depth,
+                     static_cast<std::int32_t>(arena.size() - 1),
+                     std::move(child_basis)});
     }
   }
 

@@ -2,8 +2,17 @@
 // simplex. This is the engine behind the paper's exact "ILP" algorithm
 // (Section 4): LP-relaxation bounding, most-fractional branching, and a
 // best-bound node queue with depth tie-breaking so dives find incumbents
-// early. Node LPs are re-solved from scratch; at this project's instance
-// sizes (tens of rows) that is faster than maintaining warm bases.
+// early.
+//
+// Solver fast path (DESIGN.md "Solver fast path"):
+//   * node LPs are warm-started from the parent node's optimal basis via
+//     SimplexSolver::resolve() — a child differs from its parent by one
+//     variable bound, so the re-solve is typically a handful of dual
+//     pivots instead of a cold two-phase run;
+//   * nodes store bound DELTAS (branch variable + floor/ceil side) in an
+//     arena and reconstruct their bound vectors by walking the parent
+//     chain, instead of carrying two full per-node std::vector<double>
+//     copies through the priority queue.
 #pragma once
 
 #include <cstdint>
@@ -35,11 +44,31 @@ struct IlpSolution {
   double best_bound = 0.0;
   std::size_t nodes_explored = 0;
 
+  // --- Fast-path instrumentation (consumed by bench/perf_snapshot and
+  // bench/ablation_solver). ---
+  /// Simplex pivots summed over every LP solved (nodes + heuristic).
+  std::size_t lp_iterations = 0;
+  /// Node LPs attempted with a parent-basis warm start.
+  std::size_t warm_attempts = 0;
+  /// Warm attempts that succeeded without a cold two-phase fallback.
+  std::size_t warm_hits = 0;
+  /// Full per-node bound-vector copies made on the hot path. The delta-node
+  /// representation keeps this at 0 (asserted in tests); any future code
+  /// that reintroduces per-node vector copies must bump it.
+  std::size_t full_bound_copies = 0;
+
   [[nodiscard]] bool has_solution() const noexcept {
     return status == IlpStatus::kOptimal || status == IlpStatus::kFeasible;
   }
   /// Absolute gap |objective - best_bound|; 0 when proven optimal.
   [[nodiscard]] double gap() const noexcept;
+  /// warm_hits / warm_attempts; 0 when no warm start was attempted.
+  [[nodiscard]] double warm_hit_rate() const noexcept {
+    return warm_attempts == 0
+               ? 0.0
+               : static_cast<double>(warm_hits) /
+                     static_cast<double>(warm_attempts);
+  }
 };
 
 struct IlpOptions {
@@ -60,6 +89,10 @@ struct IlpOptions {
   /// them, re-solve the LP for the continuous rest) every this many nodes —
   /// and always while no incumbent exists. 0 disables it.
   std::size_t rounding_period = 16;
+  /// Warm-start child-node LPs from the parent's optimal basis
+  /// (SimplexSolver::resolve). Off = cold two-phase solve per node, the
+  /// pre-fast-path behaviour (kept for the ablation/perf benches).
+  bool warm_lp = true;
   lp::SimplexOptions lp_options;
 };
 

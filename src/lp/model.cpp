@@ -1,9 +1,18 @@
 #include "lp/model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace mecra::lp {
+
+void Model::bump_stamp() noexcept {
+  // Globally unique so two independently built models can never collide;
+  // the resolve cache (simplex.cpp) trusts equal stamps to mean equal
+  // structure.
+  static std::atomic<std::uint64_t> counter{0};
+  stamp_ = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 VarId Model::add_variable(double lower, double upper, double objective,
                           std::string name) {
@@ -12,6 +21,7 @@ VarId Model::add_variable(double lower, double upper, double objective,
   MECRA_CHECK_MSG(!std::isnan(upper), "upper bound must not be NaN");
   MECRA_CHECK_MSG(std::isfinite(objective), "objective must be finite");
   variables_.push_back(Variable{lower, upper, objective, std::move(name)});
+  bump_stamp();
   return static_cast<VarId>(variables_.size() - 1);
 }
 
@@ -36,6 +46,7 @@ RowId Model::add_constraint(std::vector<Term> terms, Relation relation,
   std::erase_if(merged, [](const Term& t) { return t.coeff == 0.0; });
   constraints_.push_back(
       Constraint{std::move(merged), relation, rhs, std::move(name)});
+  bump_stamp();
   return static_cast<RowId>(constraints_.size() - 1);
 }
 

@@ -49,7 +49,10 @@ class Model {
   explicit Model(Sense sense = Sense::kMinimize) : sense_(sense) {}
 
   [[nodiscard]] Sense sense() const noexcept { return sense_; }
-  void set_sense(Sense sense) noexcept { sense_ = sense; }
+  void set_sense(Sense sense) noexcept {
+    sense_ = sense;
+    bump_stamp();
+  }
 
   /// Adds a variable with bounds [lower, upper] and objective coefficient.
   /// `lower` must be finite and <= upper.
@@ -84,6 +87,17 @@ class Model {
   /// Tightens the bounds of an existing variable (used by branch-and-bound).
   void set_bounds(VarId v, double lower, double upper);
 
+  /// Monotonic stamp identifying the model's STRUCTURE — everything except
+  /// variable bounds: sense, objective, constraint matrix, relations, rhs.
+  /// Every structural mutation takes a fresh globally-unique value;
+  /// set_bounds leaves it untouched, and copies share their source's stamp
+  /// (their structure is equal by construction). SimplexSolver::resolve
+  /// keys its cross-call tableau cache on this, which is what makes
+  /// branch-and-bound re-solves of one model cheap to recognize.
+  [[nodiscard]] std::uint64_t structure_stamp() const noexcept {
+    return stamp_;
+  }
+
   /// Evaluates the objective at a point (size must match num_variables()).
   [[nodiscard]] double objective_value(const std::vector<double>& x) const;
 
@@ -91,9 +105,12 @@ class Model {
   [[nodiscard]] double max_violation(const std::vector<double>& x) const;
 
  private:
+  void bump_stamp() noexcept;
+
   Sense sense_;
   std::vector<Variable> variables_;
   std::vector<Constraint> constraints_;
+  std::uint64_t stamp_ = 0;
 };
 
 }  // namespace mecra::lp

@@ -1,4 +1,5 @@
-// Dense two-phase primal simplex with native variable bounds.
+// Dense two-phase primal simplex with native variable bounds, plus a
+// warm-started re-solve entry point for branch-and-bound.
 //
 // Why hand-rolled: no LP solver is available in this environment, and both
 // the paper's randomized Algorithm 1 (LP relaxation + rounding) and the
@@ -11,10 +12,27 @@
 //     phase 2 so they can never re-enter with a nonzero value;
 //   * nonbasic variables rest at either bound; the ratio test includes the
 //     bound-flip step of the bounded-variable method;
-//   * Dantzig pricing with an automatic switch to Bland's rule after a run
-//     of degenerate pivots guarantees termination;
+//   * partial (rotating candidate-window) Dantzig pricing with an automatic
+//     switch to Bland's rule after a run of degenerate pivots guarantees
+//     termination; optimality is only declared after a full wrap over all
+//     columns finds no eligible candidate;
 //   * duals are recovered from the reduced costs of each row's slack or
 //     artificial column.
+//
+// Warm-started re-solves (`resolve`): every optimal solve exports a Basis
+// snapshot — the abstract (structural / slack-of-row / artificial-of-row)
+// identity of each row's basic column plus the bound status of every
+// structural variable. `resolve` re-installs that basis into a fresh
+// tableau built for the *new* variable bounds and repairs the (usually
+// tiny) primal infeasibility with bounded dual-simplex pivots; because
+// costs are unchanged between parent and child, the inherited basis is
+// dual-feasible by construction and the repaired point is optimal. When
+// the inherited basis is unusable — wrong shape, numerically singular, or
+// primal-infeasible in more basics than the repair bound — resolve falls
+// back to the cold two-phase path. This is the branch-and-bound fast path:
+// a child node differs from its parent by one bound, so re-solves
+// typically finish in a handful of dual pivots instead of a full
+// phase-1 + phase-2 run.
 //
 // Dense tableaus are the right call at this project's scale (hundreds of
 // rows x a few thousand columns); see DESIGN.md S3.
@@ -38,6 +56,29 @@ enum class SolveStatus {
 
 [[nodiscard]] std::string to_string(SolveStatus status);
 
+/// Abstract optimal-basis snapshot, valid across bound changes of the same
+/// model (same variables, same constraint matrix). Exported by solve() /
+/// resolve() on optimal termination and consumed by resolve().
+struct Basis {
+  enum class RowBasicKind : std::uint8_t {
+    kStructural,  // index = VarId of the structural variable
+    kSlack,       // index = row whose slack is basic
+    kArtificial,  // index = row whose phase-1 artificial is basic (at 0)
+  };
+  struct RowBasic {
+    RowBasicKind kind = RowBasicKind::kSlack;
+    std::uint32_t index = 0;
+  };
+  /// Per structural variable: 0 = at lower bound, 1 = at upper, 2 = basic.
+  std::vector<std::uint8_t> var_status;
+  /// Per constraint row: the identity of its basic column.
+  std::vector<RowBasic> row_basic;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return var_status.empty() && row_basic.empty();
+  }
+};
+
 struct Solution {
   SolveStatus status = SolveStatus::kIterationLimit;
   /// Objective in the model's original sense.
@@ -47,7 +88,15 @@ struct Solution {
   /// Dual value per constraint row (sign convention: for a kMinimize model,
   /// y_i >= 0 for binding >= rows, y_i <= 0 for binding <= rows).
   std::vector<double> duals;
+  /// Simplex pivots performed (phase 1 + phase 2, or dual + cleanup pivots
+  /// on the resolve path; basis re-installation eliminations not counted).
   std::size_t iterations = 0;
+  /// Optimal-basis snapshot for resolve(); populated iff has_basis.
+  Basis basis;
+  bool has_basis = false;
+  /// True when resolve() succeeded on the warm path (no cold fallback);
+  /// always false for solve().
+  bool warm_started = false;
 
   [[nodiscard]] bool optimal() const noexcept {
     return status == SolveStatus::kOptimal;
@@ -61,14 +110,34 @@ struct SimplexOptions {
   std::size_t max_iterations = 0;
   /// Consecutive degenerate pivots before switching to Bland's rule.
   std::size_t degenerate_switch = 40;
+  /// Partial-pricing candidate-window width; 0 means the automatic default
+  /// max(256, cols/8) — full-scan Dantzig on small tableaus (where scans
+  /// are cheap next to eliminations and a narrow window only buys extra
+  /// pivots), a cols/8 window on large ones. Set >= the column count (e.g.
+  /// SIZE_MAX) to force classic full-scan Dantzig pricing at any size (the
+  /// ablation benches do).
+  std::size_t pricing_window = 0;
+  /// resolve() falls back to the cold path when more than this many basic
+  /// variables are out of bounds under the inherited basis; 0 means the
+  /// automatic default max(8, rows/4).
+  std::size_t resolve_repair_limit = 0;
 };
 
 class SimplexSolver {
  public:
   explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
 
-  /// Solves the model; the model is not modified.
+  /// Solves the model from scratch (two-phase); the model is not modified.
   [[nodiscard]] Solution solve(const Model& model) const;
+
+  /// Warm-started re-solve: `basis` must come from a previous optimal
+  /// solve()/resolve() of the SAME model modulo variable-bound changes
+  /// (constraint matrix, rows, and costs unchanged — exactly the
+  /// branch-and-bound child-node situation). Repairs primal infeasibility
+  /// with dual-simplex pivots; transparently falls back to the cold
+  /// two-phase path when the basis cannot be reused (the returned
+  /// Solution::warm_started distinguishes the two).
+  [[nodiscard]] Solution resolve(const Model& model, const Basis& basis) const;
 
  private:
   SimplexOptions options_;

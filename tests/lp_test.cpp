@@ -7,6 +7,7 @@
 // certificate IS optimal, so these tests do not rely on a reference solver.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "lp/model.h"
@@ -367,6 +368,186 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(tpi.param.vars) + "_r" +
              std::to_string(tpi.param.rows);
     });
+
+// ---------------------------------------------------------- warm resolve
+//
+// resolve() must be indistinguishable from a cold solve() of the tightened
+// model: same status, objective within 1e-7, primal-feasible point. The
+// cold path is KKT-certified above, so it serves as the oracle.
+
+TEST(Resolve, TextbookTightenMatchesCold) {
+  Model m(Sense::kMaximize);
+  const VarId x = m.add_variable(0, kInfinity, 3);
+  const VarId y = m.add_variable(0, kInfinity, 5);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  const SimplexSolver solver;
+  const auto root = solver.solve(m);
+  ASSERT_TRUE(root.optimal());
+  ASSERT_TRUE(root.has_basis);
+  EXPECT_NEAR(root.objective, 36.0, kTol);  // (2, 6)
+
+  m.set_bounds(y, 0.0, 5.0);  // cuts off the old optimum
+  const auto warm = solver.resolve(m, root.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_TRUE(warm.has_basis);
+  const auto cold = solver.solve(m);
+  ASSERT_TRUE(cold.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+  EXPECT_LE(m.max_violation(warm.x), 1e-6);
+}
+
+TEST(Resolve, DetectsInfeasibilityFromTightenedBounds) {
+  Model m;
+  const VarId x = m.add_variable(0, 10, 1);
+  const VarId y = m.add_variable(0, 10, 1);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 5.0);
+  const SimplexSolver solver;
+  const auto root = solver.solve(m);
+  ASSERT_TRUE(root.optimal());
+  m.set_bounds(x, 0.0, 1.0);
+  m.set_bounds(y, 0.0, 1.0);  // x + y >= 5 now impossible
+  EXPECT_EQ(solver.resolve(m, root.basis).status, SolveStatus::kInfeasible);
+  EXPECT_EQ(solver.solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Resolve, ForeignBasisFallsBackToCold) {
+  Model a;
+  (void)a.add_variable(0, 1, 1);
+  const auto sa = SimplexSolver().solve(a);
+  ASSERT_TRUE(sa.has_basis);
+
+  Model b(Sense::kMaximize);
+  const VarId x = b.add_variable(0, 4, 3);
+  const VarId y = b.add_variable(0, 6, 5);
+  b.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  const auto warm = SimplexSolver().resolve(b, sa.basis);  // wrong shape
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_FALSE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, SimplexSolver().solve(b).objective, 1e-9);
+}
+
+TEST(Resolve, EmptyBasisFallsBackToCold) {
+  Model m(Sense::kMaximize);
+  (void)m.add_variable(0, 4, 3);
+  const auto warm = SimplexSolver().resolve(m, Basis{});
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_FALSE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, 12.0, kTol);
+}
+
+// Drives the cached-tableau path hard: many alternating tighten/relax
+// cycles on ONE model, each answer checked against a cold solve. This is
+// the exact access pattern of branch-and-bound and would expose stale
+// cache state (shift/upper/status refresh bugs) immediately.
+TEST(Resolve, RepeatedTightenRelaxCyclesStayExact) {
+  util::Rng rng(0xC0FFEE);
+  Model m(Sense::kMaximize);
+  constexpr std::size_t kVars = 6;
+  for (std::size_t v = 0; v < kVars; ++v) {
+    (void)m.add_variable(0.0, 3.0, rng.uniform(0.5, 2.0));
+  }
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::vector<Term> terms;
+    for (std::size_t v = 0; v < kVars; ++v) {
+      terms.push_back({static_cast<VarId>(v), rng.uniform(0.2, 1.5)});
+    }
+    m.add_constraint(std::move(terms), Relation::kLessEqual,
+                     rng.uniform(2.0, 6.0));
+  }
+  const SimplexSolver solver;
+  auto parent = solver.solve(m);
+  ASSERT_TRUE(parent.optimal());
+  std::size_t warm_hits = 0;
+  for (int step = 0; step < 30; ++step) {
+    const auto v = static_cast<VarId>(rng.index(kVars));
+    const double hi = rng.uniform(0.5, 3.0);
+    m.set_bounds(v, 0.0, hi);
+    const auto warm = solver.resolve(m, parent.basis);
+    const auto cold = solver.solve(m);
+    ASSERT_EQ(warm.status, cold.status) << "step " << step;
+    ASSERT_TRUE(warm.optimal());
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-7) << "step " << step;
+    EXPECT_LE(m.max_violation(warm.x), 1e-6) << "step " << step;
+    warm_hits += warm.warm_started ? 1 : 0;
+    parent = warm;
+  }
+  // The point of the fast path: these single-bound edits should basically
+  // always take the warm route.
+  EXPECT_GE(warm_hits, 25u);
+}
+
+// Randomized sweep: random bounded LPs (same recipe as the KKT suite), a
+// random bound tightening, then warm-vs-cold agreement. Together with the
+// BMCGAP sweep in solver_fastpath_test this gives broad property coverage
+// of the resolve path.
+TEST(Resolve, RandomTighteningsMatchColdSweep) {
+  const SimplexSolver solver;
+  std::size_t solved = 0;
+  for (std::uint64_t seed = 5000; seed < 5060; ++seed) {
+    util::Rng rng(seed);
+    Model m(rng.bernoulli(0.5) ? Sense::kMinimize : Sense::kMaximize);
+    const std::size_t nv = static_cast<std::size_t>(rng.uniform_int(2, 10));
+    const std::size_t nr = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    std::vector<double> interior;
+    for (std::size_t v = 0; v < nv; ++v) {
+      const double lo = rng.uniform(-2.0, 1.0);
+      const double hi = lo + rng.uniform(0.5, 4.0);
+      (void)m.add_variable(lo, hi, rng.uniform(-3.0, 3.0));
+      interior.push_back(lo + 0.5 * (hi - lo));
+    }
+    for (std::size_t r = 0; r < nr; ++r) {
+      std::vector<Term> terms;
+      double lhs = 0.0;
+      for (std::size_t v = 0; v < nv; ++v) {
+        if (rng.bernoulli(0.7)) {
+          const double coeff = rng.uniform(-2.0, 3.0);
+          terms.push_back({static_cast<VarId>(v), coeff});
+          lhs += coeff * interior[v];
+        }
+      }
+      if (terms.empty()) continue;
+      const double roll = rng.uniform01();
+      if (roll < 0.4) {
+        m.add_constraint(std::move(terms), Relation::kLessEqual,
+                         lhs + rng.uniform(0.0, 2.0));
+      } else if (roll < 0.8) {
+        m.add_constraint(std::move(terms), Relation::kGreaterEqual,
+                         lhs - rng.uniform(0.0, 2.0));
+      } else {
+        m.add_constraint(std::move(terms), Relation::kEqual, lhs);
+      }
+    }
+    const auto root = solver.solve(m);
+    if (!root.optimal()) continue;  // rare: generator made it unbounded
+    ASSERT_TRUE(root.has_basis);
+
+    // Tighten a random variable around its optimal value (branch style).
+    const auto v = static_cast<VarId>(rng.index(nv));
+    const auto& var = m.variable(v);
+    if (rng.bernoulli(0.5)) {
+      m.set_bounds(v, var.lower,
+                   std::max(var.lower, root.x[v] - rng.uniform(0.0, 0.5)));
+    } else {
+      const double new_lo =
+          std::min(root.x[v] + rng.uniform(0.0, 0.5),
+                   var.upper == kInfinity ? root.x[v] + 1.0 : var.upper);
+      m.set_bounds(v, new_lo, var.upper);
+    }
+
+    const auto warm = solver.resolve(m, root.basis);
+    const auto cold = solver.solve(m);
+    ASSERT_EQ(warm.status, cold.status) << "seed " << seed;
+    if (cold.optimal()) {
+      EXPECT_NEAR(warm.objective, cold.objective, 1e-7) << "seed " << seed;
+      EXPECT_LE(m.max_violation(warm.x), 1e-6) << "seed " << seed;
+    }
+    ++solved;
+  }
+  EXPECT_GE(solved, 50u);  // the sweep must actually exercise the path
+}
 
 }  // namespace
 }  // namespace mecra::lp
