@@ -8,7 +8,9 @@
 
 #include "core/fallback.h"
 #include "graph/topology.h"
+#include "obs/export.h"
 #include "sim/chaos.h"
+#include "sim/report.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -18,6 +20,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20200817));
   const double horizon = args.get_double("horizon", 120.0);
   const double deadline = args.get_double("deadline", 0.05);
+  const std::string report_path =
+      args.get("report", "run_report.json", "MECRA_RUN_REPORT");
 
   util::Rng rng(seed);
   graph::WaxmanParams wax;
@@ -78,5 +82,18 @@ int main(int argc, char** argv) {
   std::cout << "\nexpected shape: SLO attainment and availability fall as "
                "failure rates rise; the controller converts down time into "
                "degraded time via revivals and standby top-ups.\n";
+
+  // Machine-readable artifact (docs/run_report_schema.md): the obs
+  // registry has accumulated every sweep point; the gauges hold the last
+  // (harshest) point. --report= with an empty value disables.
+  if (!report_path.empty()) {
+    io::JsonObject ctx;
+    ctx.set("producer", io::Json("bench/chaos_loop"));
+    ctx.set("seed", io::Json(seed));
+    ctx.set("horizon", io::Json(horizon));
+    ctx.set("deadline_seconds", io::Json(deadline));
+    sim::write_run_report(report_path, io::Json(std::move(ctx)));
+    std::cout << "\nrun report written to " << report_path << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,48 @@
+// Private (core-internal) observability shim for the augmentation
+// algorithms: one RAII object per augment_* call records a span plus
+// calls/expectation-met counters and a latency histogram under the
+// algorithm's scope name (e.g. "augment.ilp"). Kept out of
+// core/augmentation.h so obs stays a PRIVATE dependency of mecra_core.
+#pragma once
+
+#include <string>
+
+#include "core/augmentation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mecra::core::detail {
+
+/// Measures one augmentation call. Construct AFTER the result object (the
+/// destructor reads the final `result`, including the runtime_seconds the
+/// algorithm stamps right before returning).
+///
+/// Thread safety: safe on concurrent trial-runner workers — all recording
+/// goes through the sharded registry.
+class AugmentObs {
+ public:
+  /// `scope` must be a string literal like "augment.heuristic".
+  AugmentObs(const char* scope, const AugmentationResult& result)
+      : scope_(scope), result_(result), span_(scope) {}
+
+  AugmentObs(const AugmentObs&) = delete;
+  AugmentObs& operator=(const AugmentObs&) = delete;
+
+  ~AugmentObs() {
+    if (!obs::enabled()) return;
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string scope(scope_);
+    reg.counter(scope + ".calls").add(1);
+    if (result_.expectation_met) reg.counter(scope + ".met").add(1);
+    reg.histogram(scope + ".seconds").observe(result_.runtime_seconds);
+    span_.attr("placements", static_cast<double>(result_.placements.size()));
+    span_.attr("achieved", result_.achieved_reliability);
+  }
+
+ private:
+  const char* scope_;
+  const AugmentationResult& result_;
+  obs::TraceSpan span_;
+};
+
+}  // namespace mecra::core::detail

@@ -1,6 +1,20 @@
 // Common types for the reliability-augmentation algorithms and shared
 // post-processing (capacity accounting, expectation trimming, application
 // of a solution to the live network).
+//
+// The augment_* entry points (ilp_exact.h, randomized_rounding.h,
+// heuristic_matching.h, greedy_baseline.h) all share one signature:
+//   AugmentationResult augment_X(const BmcgapInstance&,
+//                                const AugmentOptions& = {});
+//
+// Thread safety: the algorithms are pure functions of (instance, options)
+// — no shared mutable state — so distinct instances may be augmented
+// concurrently (sim::run_trials does exactly that via the thread pool).
+// Each call records its outcome to the global obs registry
+// (augment.<alg>.{calls,met,seconds}) on destruction of an internal RAII
+// recorder; those records are lock-free and thread-safe. Determinism:
+// augment_randomized draws only from AugmentOptions::seed, never from
+// global state.
 #pragma once
 
 #include <cstdint>

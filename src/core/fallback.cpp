@@ -9,6 +9,8 @@
 #include "core/ilp_exact.h"
 #include "core/randomized_rounding.h"
 #include "core/validator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -17,6 +19,16 @@ namespace mecra::core {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Mirrors one tier-stat increment onto the global registry
+/// ("fallback.<tier>.<event>"), so run reports see tier usage without the
+/// caller exporting FallbackTierStats by hand.
+void record_tier(const std::string& tier, const char* event) {
+  if (!obs::enabled()) return;
+  obs::MetricsRegistry::global()
+      .counter("fallback." + tier + "." + event)
+      .add(1);
+}
 
 }  // namespace
 
@@ -83,6 +95,12 @@ FallbackTier FallbackAugmenter::make_tier(
 AugmentationResult FallbackAugmenter::augment(const BmcgapInstance& instance,
                                               const AugmentOptions& options) {
   ++calls_;
+  obs::TraceSpan span("fallback.augment");
+  if (obs::enabled()) {
+    static obs::Counter& calls =
+        obs::MetricsRegistry::global().counter("fallback.calls");
+    calls.add(1);
+  }
   const util::Timer timer;
   const bool deadline_active = options_.deadline_seconds > 0.0;
 
@@ -98,11 +116,13 @@ AugmentationResult FallbackAugmenter::augment(const BmcgapInstance& instance,
         // Deadline blown but a usable (if sub-expectation) plan exists:
         // degrade to it instead of burning more time.
         ++tier_stats_[i].timeouts;
+        record_tier(tiers_[i].name, "timeouts");
         break;
       }
       if (!last) {
         // Nothing usable yet; skip straight to the cheapest last resort.
         ++tier_stats_[i].timeouts;
+        record_tier(tiers_[i].name, "timeouts");
         continue;
       }
       // Last tier always runs when nothing feasible exists yet.
@@ -111,18 +131,23 @@ AugmentationResult FallbackAugmenter::augment(const BmcgapInstance& instance,
     const double remaining =
         deadline_active ? options_.deadline_seconds - elapsed : kInf;
     ++tier_stats_[i].attempts;
+    record_tier(tiers_[i].name, "attempts");
     AugmentationResult result = tiers_[i].algorithm(instance, options,
                                                     remaining);
     const ValidationReport report = validate(instance, result);
     if (!report.feasible) {
       ++tier_stats_[i].infeasible;
+      record_tier(tiers_[i].name, "infeasible");
       continue;
     }
     if (result.expectation_met) {
       ++tier_stats_[i].served;
+      record_tier(tiers_[i].name, "served");
+      span.attr("served_tier", static_cast<double>(i));
       return result;
     }
     ++tier_stats_[i].unmet;
+    record_tier(tiers_[i].name, "unmet");
     if (!have_best ||
         result.achieved_reliability > best.achieved_reliability) {
       best = std::move(result);
@@ -132,8 +157,15 @@ AugmentationResult FallbackAugmenter::augment(const BmcgapInstance& instance,
   }
 
   ++best_effort_calls_;
+  if (obs::enabled()) {
+    static obs::Counter& best_effort =
+        obs::MetricsRegistry::global().counter("fallback.best_effort");
+    best_effort.add(1);
+  }
   if (have_best) {
     ++tier_stats_[best_tier].served;
+    record_tier(tiers_[best_tier].name, "served");
+    span.attr("served_tier", static_cast<double>(best_tier));
     return best;
   }
   // Every tier failed or was infeasible: an empty placement is always

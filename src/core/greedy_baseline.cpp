@@ -1,5 +1,7 @@
 #include "core/greedy_baseline.h"
 
+#include "core/augment_obs.h"
+
 #include <algorithm>
 #include <numeric>
 
@@ -12,6 +14,7 @@ AugmentationResult augment_greedy(const BmcgapInstance& instance,
   util::Timer timer;
   AugmentationResult result;
   result.algorithm = "Greedy";
+  const detail::AugmentObs augment_obs("augment.greedy", result);
 
   if (instance.initial_reliability >= instance.expectation) {
     finalize_result(instance, result);

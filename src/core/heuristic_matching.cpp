@@ -1,5 +1,7 @@
 #include "core/heuristic_matching.h"
 
+#include "core/augment_obs.h"
+
 #include <algorithm>
 
 #include "matching/hungarian.h"
@@ -12,6 +14,7 @@ AugmentationResult augment_heuristic(const BmcgapInstance& instance,
   util::Timer timer;
   AugmentationResult result;
   result.algorithm = "Heuristic";
+  const detail::AugmentObs augment_obs("augment.heuristic", result);
 
   // Lines 2-4: the admission already meets the expectation.
   if (instance.initial_reliability >= instance.expectation) {

@@ -1,5 +1,7 @@
 #include "core/ilp_exact.h"
 
+#include "core/augment_obs.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -166,6 +168,7 @@ AugmentationResult augment_ilp(const BmcgapInstance& instance,
   util::Timer timer;
   AugmentationResult result;
   result.algorithm = "ILP";
+  const detail::AugmentObs augment_obs("augment.ilp", result);
 
   // Line 2-3 of Algorithm 1 applies here too: nothing to do when the
   // primaries alone meet the expectation.

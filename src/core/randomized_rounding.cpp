@@ -1,5 +1,7 @@
 #include "core/randomized_rounding.h"
 
+#include "core/augment_obs.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -15,6 +17,7 @@ AugmentationResult augment_randomized(const BmcgapInstance& instance,
   util::Timer timer;
   AugmentationResult result;
   result.algorithm = "Randomized";
+  const detail::AugmentObs augment_obs("augment.randomized", result);
 
   // Algorithm 1, lines 2-3: the admission already meets the expectation.
   if (instance.initial_reliability >= instance.expectation) {

@@ -6,6 +6,8 @@
 #include <memory>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace mecra::ilp {
@@ -78,6 +80,33 @@ IlpSolution BranchAndBoundSolver::solve(
   lp::Model work = model;
 
   IlpSolution out;
+
+  // The registry mirrors the IlpSolution counters (one batched add per
+  // solve on every exit path), so run reports see solver totals without
+  // callers forwarding them by hand.
+  struct SolveObs {
+    const IlpSolution& out;
+    const util::Timer& timer;
+    obs::TraceSpan span{"ilp.solve"};
+    ~SolveObs() {
+      if (!obs::enabled()) return;
+      auto& reg = obs::MetricsRegistry::global();
+      static obs::Counter& solves = reg.counter("ilp.solves");
+      static obs::Counter& nodes = reg.counter("ilp.nodes");
+      static obs::Counter& warm_attempts = reg.counter("ilp.warm_attempts");
+      static obs::Counter& warm_hits = reg.counter("ilp.warm_hits");
+      static obs::Histogram& seconds = reg.histogram("ilp.solve_seconds");
+      solves.add(1);
+      nodes.add(out.nodes_explored);
+      warm_attempts.add(out.warm_attempts);
+      warm_hits.add(out.warm_hits);
+      seconds.observe(timer.elapsed_seconds());
+      span.attr("nodes", static_cast<double>(out.nodes_explored));
+      span.attr("lp_iterations", static_cast<double>(out.lp_iterations));
+      span.attr("warm_hits", static_cast<double>(out.warm_hits));
+    }
+  } solve_obs{out, timer};
+
   double incumbent = kInf;  // minimization view
   std::vector<double> incumbent_x;
   double worst_open_bound = kInf;  // best bound among abandoned nodes

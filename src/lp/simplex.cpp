@@ -5,6 +5,8 @@
 #include <limits>
 #include <optional>
 
+#include "obs/metrics.h"
+
 namespace mecra::lp {
 
 std::string to_string(SolveStatus status) {
@@ -581,12 +583,31 @@ PivotLimits make_limits(const SimplexOptions& options, const Tableau& tb) {
 
 }  // namespace
 
+namespace {
+
+/// Batches the per-solve pivot count into the registry on scope exit (one
+/// counter add per solve, regardless of the exit path — never per pivot).
+struct LpObsRecord {
+  const Solution& sol;
+  const char* solves_counter;
+  ~LpObsRecord() {
+    if (!obs::enabled()) return;
+    obs::MetricsRegistry::global().counter(solves_counter).add(1);
+    static obs::Counter& pivots =
+        obs::MetricsRegistry::global().counter("lp.pivots");
+    pivots.add(sol.iterations);
+  }
+};
+
+}  // namespace
+
 Solution SimplexSolver::solve(const Model& model) const {
   const double sense_factor =
       (model.sense() == Sense::kMaximize) ? -1.0 : 1.0;
   Tableau tb = build_tableau(model, sense_factor);
 
   Solution sol;
+  const LpObsRecord obs_record{sol, "lp.cold_solves"};
   sol.x.assign(model.num_variables(), 0.0);
   sol.duals.assign(model.num_constraints(), 0.0);
 
@@ -936,7 +957,13 @@ ResolveCache& thread_resolve_cache() {
 Solution SimplexSolver::resolve(const Model& model, const Basis& basis) const {
   if (std::optional<Solution> warm =
           try_resolve(model, basis, options_, thread_resolve_cache())) {
+    const LpObsRecord obs_record{*warm, "lp.warm_resolves"};
     return *std::move(warm);
+  }
+  if (obs::enabled()) {
+    static obs::Counter& cold_falls =
+        obs::MetricsRegistry::global().counter("lp.resolve_cold_fallbacks");
+    cold_falls.add(1);
   }
   return solve(model);  // cold fallback; warm_started stays false
 }

@@ -1,0 +1,196 @@
+#include "obs/export.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mecra::obs {
+
+namespace {
+
+// Mirrors io/json.cpp: integral doubles print without an exponent, the
+// rest via to_chars shortest-round-trip — so parse(to_json(x)) == x.
+void append_number(std::string& out, double d) {
+  MECRA_CHECK_MSG(std::isfinite(d), "JSON export requires finite numbers");
+  char buf[32];
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+    return;
+  }
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  MECRA_CHECK(ec == std::errc());
+  out.append(buf, ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  MECRA_CHECK(ec == std::errc());
+  out.append(buf, ptr);
+}
+
+void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_span(std::string& out, const SpanEvent& s) {
+  out += "{\"id\":";
+  append_u64(out, s.id);
+  out += ",\"parent\":";
+  append_u64(out, s.parent);
+  out += ",\"name\":";
+  append_string(out, s.name);
+  out += ",\"thread\":";
+  append_u64(out, s.thread);
+  out += ",\"start_ns\":";
+  append_u64(out, s.start_ns);
+  out += ",\"end_ns\":";
+  append_u64(out, s.end_ns);
+  out += ",\"duration_ns\":";
+  append_u64(out, s.duration_ns());
+  out += ",\"attrs\":{";
+  for (std::size_t i = 0; i < s.attrs.size(); ++i) {
+    if (i > 0) out += ',';
+    append_string(out, s.attrs[i].first);
+    out += ':';
+    append_number(out, s.attrs[i].second);
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& metrics,
+                    const std::vector<SpanEvent>& spans,
+                    std::uint64_t spans_recorded,
+                    std::uint64_t spans_dropped) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"metrics\":{\"counters\":[";
+  for (std::size_t i = 0; i < metrics.counters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    append_string(out, metrics.counters[i].name);
+    out += ",\"value\":";
+    append_u64(out, metrics.counters[i].value);
+    out += '}';
+  }
+  out += "],\"gauges\":[";
+  for (std::size_t i = 0; i < metrics.gauges.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    append_string(out, metrics.gauges[i].name);
+    out += ",\"value\":";
+    append_number(out, metrics.gauges[i].value);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  for (std::size_t i = 0; i < metrics.histograms.size(); ++i) {
+    if (i > 0) out += ',';
+    const auto& h = metrics.histograms[i].data;
+    out += "{\"name\":";
+    append_string(out, metrics.histograms[i].name);
+    out += ",\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ',';
+      append_number(out, h.bounds[b]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ',';
+      append_u64(out, h.counts[b]);
+    }
+    out += "],\"count\":";
+    append_u64(out, h.count);
+    out += ",\"sum\":";
+    append_number(out, h.sum);
+    out += ",\"min\":";
+    append_number(out, h.min);
+    out += ",\"max\":";
+    append_number(out, h.max);
+    out += '}';
+  }
+  out += "]},\"spans\":{\"recorded\":";
+  append_u64(out, spans_recorded);
+  out += ",\"dropped\":";
+  append_u64(out, spans_dropped);
+  out += ",\"top\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out += ',';
+    append_span(out, spans[i]);
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string global_to_json(std::size_t top_n_spans) {
+  const TraceRing& ring = TraceRing::global();
+  return to_json(MetricsRegistry::global().snapshot(),
+                 top_spans(TraceRing::global().snapshot(), top_n_spans),
+                 ring.total_recorded(), ring.dropped());
+}
+
+util::Table metrics_table(const MetricsSnapshot& metrics) {
+  util::Table table({"kind", "name", "value", "details"});
+  for (const auto& c : metrics.counters) {
+    table.add_row({"counter", c.name, std::to_string(c.value), ""});
+  }
+  for (const auto& g : metrics.gauges) {
+    table.add_row({"gauge", g.name, util::fmt(g.value, 4), ""});
+  }
+  for (const auto& h : metrics.histograms) {
+    const double mean =
+        h.data.count > 0 ? h.data.sum / static_cast<double>(h.data.count)
+                         : 0.0;
+    std::ostringstream details;
+    details << "n=" << h.data.count << " mean=" << util::fmt(mean, 6)
+            << " min=" << util::fmt(h.data.min, 6)
+            << " max=" << util::fmt(h.data.max, 6);
+    table.add_row({"histogram", h.name, util::fmt(h.data.sum, 4),
+                   details.str()});
+  }
+  return table;
+}
+
+util::Table spans_table(const std::vector<SpanEvent>& spans,
+                        std::size_t top_n) {
+  util::Table table({"span", "ms", "id", "parent", "thread", "attrs"});
+  const std::vector<SpanEvent> top = top_spans(spans, top_n);
+  for (const SpanEvent& s : top) {
+    std::ostringstream attrs;
+    for (std::size_t i = 0; i < s.attrs.size(); ++i) {
+      if (i > 0) attrs << ' ';
+      attrs << s.attrs[i].first << '=' << util::fmt(s.attrs[i].second, 3);
+    }
+    table.add_row({s.name,
+                   util::fmt(static_cast<double>(s.duration_ns()) / 1e6, 3),
+                   std::to_string(s.id), std::to_string(s.parent),
+                   std::to_string(s.thread), attrs.str()});
+  }
+  return table;
+}
+
+}  // namespace mecra::obs

@@ -1,0 +1,56 @@
+// Exporters turning obs snapshots into artifacts:
+//
+//   * `to_json` — a deterministic JSON document (text). obs sits below
+//     `io/` in the layering, so it emits JSON itself; the output is
+//     strict JSON that round-trips through `io::Json::parse` (asserted in
+//     tests), and `sim/report` embeds it into run_report.json.
+//   * `metrics_table` / `spans_table` — human-readable `util::Table`s for
+//     bench/example stdout.
+//
+// Document shape (the "observability" object of the run-report schema;
+// see docs/run_report_schema.md):
+//
+//   {"metrics": {"counters": [{"name","value"}...],
+//                "gauges":   [{"name","value"}...],
+//                "histograms":[{"name","bounds","counts","count","sum",
+//                              "min","max"}...]},
+//    "spans": {"recorded": N, "dropped": D,
+//              "top": [{"id","parent","name","thread","start_ns",
+//                       "end_ns","duration_ns","attrs":{...}}...]}}
+//
+// Thread safety: pure functions of their arguments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/table.h"
+
+namespace mecra::obs {
+
+/// Serializes a metrics snapshot plus a span list (already truncated to
+/// the desired top-N — see `top_spans`) as the JSON document above.
+/// `spans_recorded`/`spans_dropped` report ring totals (pass
+/// TraceRing::total_recorded()/dropped()).
+[[nodiscard]] std::string to_json(const MetricsSnapshot& metrics,
+                                  const std::vector<SpanEvent>& spans,
+                                  std::uint64_t spans_recorded = 0,
+                                  std::uint64_t spans_dropped = 0);
+
+/// Convenience: snapshots the global registry and ring and serializes the
+/// `top_n` longest spans.
+[[nodiscard]] std::string global_to_json(std::size_t top_n_spans = 32);
+
+/// One row per instrument: kind, name, value, details (histograms show
+/// count/mean/min/max).
+[[nodiscard]] util::Table metrics_table(const MetricsSnapshot& metrics);
+
+/// The `top_n` longest spans, one row each: name, duration (ms), parent,
+/// thread, attrs.
+[[nodiscard]] util::Table spans_table(const std::vector<SpanEvent>& spans,
+                                      std::size_t top_n = 20);
+
+}  // namespace mecra::obs

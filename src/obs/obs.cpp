@@ -1,0 +1,36 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mecra::obs {
+
+namespace detail {
+
+namespace {
+
+bool initial_state_from_env() {
+  const char* v = std::getenv("MECRA_OBS");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+           std::strcmp(v, "false") == 0 || std::strcmp(v, "OFF") == 0);
+}
+
+}  // namespace
+
+std::atomic<bool>& runtime_flag() noexcept {
+  static std::atomic<bool> flag{initial_state_from_env()};
+  return flag;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  if constexpr (kCompiledIn) {
+    detail::runtime_flag().store(on, std::memory_order_relaxed);
+  } else {
+    (void)on;
+  }
+}
+
+}  // namespace mecra::obs

@@ -1,0 +1,50 @@
+// Observability switch: one predictable branch on the hot path, nothing
+// when compiled out.
+//
+// Two independent kill switches control every instrument in `src/obs/`:
+//
+//   * compile time — configure with `-DMECRA_OBS=OFF` and the whole
+//     subsystem folds to constants: `enabled()` becomes `constexpr false`,
+//     so every `Counter::add` / `TraceSpan` body is dead-code-eliminated.
+//     The library still links (registries exist but stay empty), so no
+//     caller needs `#ifdef`s.
+//   * run time — set the environment variable `MECRA_OBS=off` (or `0`,
+//     `false`) before process start, or call `set_enabled(false)`. The
+//     disabled fast path is a single relaxed atomic load + branch per
+//     instrument call; `bench/micro_obs` asserts this stays within noise
+//     of a build with the subsystem compiled out.
+//
+// Thread safety: `enabled()`/`set_enabled()` are safe from any thread.
+#pragma once
+
+#include <atomic>
+
+namespace mecra::obs {
+
+/// True when the subsystem is compiled in (MECRA_OBS=ON, the default).
+#ifdef MECRA_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+namespace detail {
+/// Process-wide runtime switch; initialized once from the MECRA_OBS
+/// environment variable ("off"/"0"/"false" disable, anything else enables).
+[[nodiscard]] std::atomic<bool>& runtime_flag() noexcept;
+}  // namespace detail
+
+/// Whether instruments record. Hot-path cost when compiled in: one relaxed
+/// atomic load and one branch. Compiled out: constant false (no code).
+[[nodiscard]] inline bool enabled() noexcept {
+  if constexpr (!kCompiledIn) {
+    return false;
+  } else {
+    return detail::runtime_flag().load(std::memory_order_relaxed);
+  }
+}
+
+/// Overrides the runtime switch (tests, benches). No-op when compiled out.
+void set_enabled(bool on) noexcept;
+
+}  // namespace mecra::obs

@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace mecra::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+/// Innermost open span id on this thread (0 = none).
+thread_local std::uint64_t t_current_span = 0;
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- TraceRing ---
+
+TraceRing& TraceRing::global() {
+  static TraceRing* ring = new TraceRing();  // never freed
+  return *ring;
+}
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  MECRA_CHECK(capacity_ > 0);
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TraceRing::push(SpanEvent event) {
+  const std::scoped_lock lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanEvent> TraceRing::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  // Oldest-first: once saturated, `next_` points at the oldest slot.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::total_recorded() const {
+  const std::scoped_lock lock(mutex_);
+  return total_;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return total_ - ring_.size();
+}
+
+void TraceRing::clear() {
+  const std::scoped_lock lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+void TraceRing::set_capacity(std::size_t capacity) {
+  MECRA_CHECK(capacity > 0);
+  const std::scoped_lock lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+  capacity_ = capacity;
+}
+
+// --- TraceSpan ---
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (!enabled()) return;
+  active_ = true;
+  event_.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  event_.parent = t_current_span;
+  event_.name = std::string(name);
+  event_.thread = detail::thread_shard();
+  t_current_span = event_.id;
+  event_.start_ns = now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  event_.end_ns = now_ns();
+  t_current_span = event_.parent;
+  TraceRing::global().push(std::move(event_));
+}
+
+void TraceSpan::attr(std::string_view key, double value) {
+  if (!active_) return;
+  event_.attrs.emplace_back(std::string(key), value);
+}
+
+// --- helpers ---
+
+std::vector<SpanEvent> top_spans(std::vector<SpanEvent> events,
+                                 std::size_t n) {
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.duration_ns() != b.duration_ns()) {
+                return a.duration_ns() > b.duration_ns();
+              }
+              return a.start_ns < b.start_ns;
+            });
+  if (events.size() > n) events.resize(n);
+  return events;
+}
+
+}  // namespace mecra::obs

@@ -1,0 +1,121 @@
+// RAII span tracing into a bounded in-memory ring.
+//
+// A `TraceSpan` brackets one logical operation (an exact solve, a
+// reconcile pass, one fallback call): construction records the start
+// timestamp and links the span under the calling thread's innermost open
+// span; destruction records the end and appends one completed `SpanEvent`
+// to the process-wide `TraceRing`. The ring is bounded — when full, the
+// oldest events are overwritten and counted as dropped — so tracing never
+// grows without bound in a long-running loop.
+//
+// Parentage is PER-THREAD: a span opened on a worker thread roots a new
+// tree there (cross-thread causality is not stitched; the `thread` field
+// lets exporters group by worker). Timestamps are steady-clock
+// nanoseconds, comparable only within one process run.
+//
+// Cost: construction + destruction together do one enabled() branch each,
+// two clock reads, and one short mutex-protected ring append — intended
+// for operations of microseconds and up, not per-pivot granularity (use a
+// Counter for those).
+//
+// Thread safety: TraceSpan objects must be destroyed on the thread that
+// created them (RAII scopes guarantee this); TraceRing is safe from any
+// thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace mecra::obs {
+
+/// One completed span. `parent == 0` marks a root span.
+struct SpanEvent {
+  std::uint64_t id = 0;      ///< process-unique, assigned at open (never 0)
+  std::uint64_t parent = 0;  ///< enclosing span on the same thread, or 0
+  std::string name;          ///< operation label, e.g. "ilp.solve"
+  std::uint64_t start_ns = 0;  ///< steady-clock open time
+  std::uint64_t end_ns = 0;    ///< steady-clock close time
+  std::uint64_t thread = 0;    ///< stable per-thread index (obs shard id)
+  /// Small numeric annotations attached via TraceSpan::attr.
+  std::vector<std::pair<std::string, double>> attrs;
+
+  [[nodiscard]] std::uint64_t duration_ns() const noexcept {
+    return end_ns - start_ns;
+  }
+};
+
+/// Bounded ring of completed spans (default capacity 4096 events).
+///
+/// Thread safety: all member functions are mutex-protected and safe from
+/// any thread.
+class TraceRing {
+ public:
+  /// The process-wide ring every TraceSpan completes into.
+  [[nodiscard]] static TraceRing& global();
+
+  explicit TraceRing(std::size_t capacity = 4096);
+
+  /// Appends a completed span, overwriting the oldest when full.
+  void push(SpanEvent event);
+
+  /// Completed spans in completion order (oldest surviving first).
+  [[nodiscard]] std::vector<SpanEvent> snapshot() const;
+
+  /// Spans ever pushed (including overwritten ones).
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  /// Spans lost to overwriting: total_recorded() - (spans still held).
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Discards all held spans and zeroes the recorded/dropped counters.
+  void clear();
+
+  /// Discards held spans and resizes the ring (epoch boundaries only).
+  void set_capacity(std::size_t capacity);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;          // ring_ write cursor once saturated
+  std::uint64_t total_ = 0;
+};
+
+/// RAII scope measuring one operation; see the file comment for semantics
+/// and cost. Construction is a no-op while observability is disabled —
+/// a span that STARTED disabled stays inert even if tracing is enabled
+/// before it closes.
+class TraceSpan {
+ public:
+  /// Opens a span named `name` (copied; string literals are idiomatic).
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric attribute, e.g. `span.attr("nodes", 42)`. No-op
+  /// on an inert span.
+  void attr(std::string_view key, double value);
+
+  /// Whether this span is recording (observability was enabled at open).
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  SpanEvent event_;
+  bool active_ = false;
+};
+
+/// Steady-clock nanoseconds since an arbitrary process-local epoch.
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// The `n` longest-duration spans of `events`, longest first (ties by
+/// earlier start). Used by the run-report exporter.
+[[nodiscard]] std::vector<SpanEvent> top_spans(std::vector<SpanEvent> events,
+                                               std::size_t n);
+
+}  // namespace mecra::obs

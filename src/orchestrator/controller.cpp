@@ -3,11 +3,37 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mecra::orchestrator {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Batched mirror of ControllerMetrics deltas onto the global registry,
+/// recorded once per reconcile() (see Controller::reconcile).
+void record_reconcile(const ControllerMetrics& before,
+                      const ControllerMetrics& after) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& reconciles = reg.counter("controller.reconciles");
+  static obs::Counter& repairs = reg.counter("controller.repairs");
+  static obs::Counter& attempts = reg.counter("controller.reaugment_attempts");
+  static obs::Counter& successes =
+      reg.counter("controller.reaugment_successes");
+  static obs::Counter& failures = reg.counter("controller.reaugment_failures");
+  static obs::Counter& standbys = reg.counter("controller.standbys_added");
+  static obs::Counter& revivals = reg.counter("controller.revivals");
+  reconciles.add(1);
+  repairs.add(after.repairs - before.repairs);
+  attempts.add(after.reaugment_attempts - before.reaugment_attempts);
+  successes.add(after.reaugment_successes - before.reaugment_successes);
+  failures.add(after.reaugment_failures - before.reaugment_failures);
+  standbys.add(after.standbys_added - before.standbys_added);
+  revivals.add(after.revivals - before.revivals);
+}
 
 }  // namespace
 
@@ -123,6 +149,8 @@ ReconcileReport Controller::reconcile(double now) {
   MECRA_CHECK_MSG(now >= last_now_, "reconcile time moved backwards");
   last_now_ = now;
   ReconcileReport report;
+  obs::TraceSpan span("controller.reconcile");
+  const ControllerMetrics before = metrics_;
 
   // Due repairs first: they free capacity the policy pass can use.
   while (!repair_queue_.empty() && repair_queue_.begin()->first <= now) {
@@ -134,15 +162,25 @@ ReconcileReport Controller::reconcile(double now) {
   }
   if (!report.repaired.empty()) {
     // Fresh capacity invalidates every backoff decision.
+    std::size_t gates_reset = 0;
     for (auto& [id, tracked] : tracked_) {
       tracked.dirty = true;
+      if (tracked.backoff != 0.0) ++gates_reset;
       tracked.backoff = 0.0;
       tracked.not_before = now;
+    }
+    if (gates_reset > 0 && obs::enabled()) {
+      static obs::Counter& resets =
+          obs::MetricsRegistry::global().counter("controller.backoff_resets");
+      resets.add(gates_reset);
     }
   }
 
   if (options_.policy == ReaugmentPolicy::kPeriodic) {
-    if (now < next_batch_) return report;
+    if (now < next_batch_) {
+      record_reconcile(before, metrics_);
+      return report;
+    }
     while (next_batch_ <= now) next_batch_ += options_.period;
   }
 
@@ -154,6 +192,9 @@ ReconcileReport Controller::reconcile(double now) {
     }
     attempt(id, tracked, now, report);
   }
+  span.attr("attempts", static_cast<double>(report.attempts));
+  span.attr("repaired", static_cast<double>(report.repaired.size()));
+  record_reconcile(before, metrics_);
   return report;
 }
 

@@ -23,6 +23,12 @@
 // after that time. next_wakeup() tells drivers when scheduled work (a
 // repair, a batch boundary, a backoff retry) is due, so event loops can
 // merge it with their own event stream.
+//
+// Thread safety: a Controller (like the Orchestrator it drives) is owned
+// by ONE driver thread; none of its members may be called concurrently.
+// Parallelism in this codebase lives a level up — whole simulations run
+// in parallel, each with its own orchestrator + controller pair. The obs
+// counters reconcile() emits (controller.*) are safe from any thread.
 #pragma once
 
 #include <cstdint>
@@ -73,8 +79,14 @@ class Controller {
   explicit Controller(Orchestrator& orch, ControllerOptions options = {});
 
   // --- event notifications from the driver ---
+
+  /// Starts tracking a newly admitted service (clean; nothing scheduled).
+  /// `now` is the driver's current time, same clock as reconcile().
   void on_admit(ServiceId id, double now);
+  /// Stops tracking a departed service; pending backoff state is dropped.
   void on_teardown(ServiceId id);
+  /// Marks the service dirty so the next eligible reconcile() re-checks
+  /// its reliability (promotion already happened inside the orchestrator).
   void on_instance_failed(ServiceId id, double now);
   /// Schedules the cloudlet's repair at now + mttr and marks every tracked
   /// service for a health check.
@@ -88,6 +100,9 @@ class Controller {
   /// `now` must not decrease across calls.
   ReconcileReport reconcile(double now);
 
+  /// Cumulative counters since construction (never reset). The same
+  /// deltas are mirrored to the global obs registry as `controller.*`
+  /// counters by every reconcile() call.
   [[nodiscard]] const ControllerMetrics& metrics() const noexcept {
     return metrics_;
   }

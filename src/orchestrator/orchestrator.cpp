@@ -9,6 +9,8 @@
 #include "core/heuristic_matching.h"
 #include "core/validator.h"
 #include "graph/algorithms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mecra::orchestrator {
 
@@ -79,9 +81,27 @@ std::optional<ServiceId> Orchestrator::admit(const mec::SfcRequest& request,
   // Down cloudlets present zero residual for the whole admission +
   // augmentation sequence, so neither primaries nor standbys land there.
   const DownMask mask(*this);
+  obs::TraceSpan span("orchestrator.admit");
+  if (obs::enabled()) {
+    static obs::Counter& attempts =
+        obs::MetricsRegistry::global().counter("admission.attempts");
+    attempts.add(1);
+  }
   auto primaries =
       admission::random_admission(network_, catalog_, request, rng);
-  if (!primaries.has_value()) return std::nullopt;
+  if (!primaries.has_value()) {
+    if (obs::enabled()) {
+      static obs::Counter& rejected =
+          obs::MetricsRegistry::global().counter("admission.rejected");
+      rejected.add(1);
+    }
+    return std::nullopt;
+  }
+  if (obs::enabled()) {
+    static obs::Counter& accepted =
+        obs::MetricsRegistry::global().counter("admission.accepted");
+    accepted.add(1);
+  }
 
   Service svc;
   svc.id = next_service_++;

@@ -25,6 +25,11 @@
 // cloudlet reclaims the slots of its dead instances. A cloudlet between
 // fail_cloudlet and repair_cloudlet is DOWN: admit, reaugment, and revive
 // all refuse to place new instances on it.
+//
+// Thread safety: an Orchestrator is confined to one driver thread (it
+// mutates the network it owns with no internal locking). Run concurrent
+// simulations with one Orchestrator each; the obs counters admit() emits
+// (admission.*) are safe from any thread.
 #pragma once
 
 #include <cstdint>

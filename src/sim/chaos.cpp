@@ -6,6 +6,8 @@
 #include <queue>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "orchestrator/orchestrator.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -49,6 +51,7 @@ struct Tracked {
 ChaosReport run_chaos(const mec::MecNetwork& base_network,
                       const mec::VnfCatalog& catalog,
                       const ChaosConfig& config, std::uint64_t seed) {
+  obs::TraceSpan run_span("chaos.run");
   MECRA_CHECK(config.arrival_rate > 0.0);
   MECRA_CHECK(config.mean_holding_time > 0.0);
   MECRA_CHECK(config.horizon > 0.0);
@@ -272,6 +275,28 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
       m.recovered_episodes > 0
           ? ttr_sum / static_cast<double>(m.recovered_episodes)
           : 0.0;
+
+  // Export the epoch's availability picture: cumulative event counters
+  // plus point-in-time gauges (overwritten by the next epoch, so a sweep
+  // reports its last point; reset the registry between epochs to isolate).
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("chaos.arrivals").add(m.arrivals);
+    reg.counter("chaos.admitted").add(m.admitted);
+    reg.counter("chaos.blocked").add(m.blocked);
+    reg.counter("chaos.instance_failures").add(m.instance_failures);
+    reg.counter("chaos.cloudlet_outages").add(m.cloudlet_outages);
+    reg.counter("chaos.down_episodes").add(m.down_episodes);
+    const double held = m.total_held_time;
+    reg.gauge("chaos.slo_attainment").set(m.slo_attainment);
+    reg.gauge("chaos.slo_violation_time")
+        .set(held > 0.0 ? held - m.slo_time : 0.0);
+    reg.gauge("chaos.degraded_fraction")
+        .set(held > 0.0 ? m.degraded_time / held : 0.0);
+    reg.gauge("chaos.down_fraction")
+        .set(held > 0.0 ? m.down_time / held : 0.0);
+    reg.gauge("chaos.mean_time_to_recovery").set(m.mean_time_to_recovery);
+  }
   return report;
 }
 

@@ -5,6 +5,8 @@
 
 #include "core/heuristic_matching.h"
 #include "core/validator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mecra::sim {
 
@@ -26,6 +28,7 @@ using Holding = std::vector<std::pair<graph::NodeId, double>>;
 DynamicMetrics run_dynamic(const mec::MecNetwork& base_network,
                            const mec::VnfCatalog& catalog,
                            const DynamicConfig& config, std::uint64_t seed) {
+  obs::TraceSpan run_span("dynamic.run");
   MECRA_CHECK(config.arrival_rate > 0.0);
   MECRA_CHECK(config.mean_holding_time > 0.0);
   MECRA_CHECK(config.horizon > 0.0);
@@ -140,6 +143,15 @@ DynamicMetrics run_dynamic(const mec::MecNetwork& base_network,
   }
 
   if (last_event_time < config.horizon) advance_to(config.horizon);
+  // Epoch export (see chaos.cpp for the counter/gauge convention).
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("dynamic.arrivals").add(metrics.arrivals);
+    reg.counter("dynamic.admitted").add(metrics.admitted);
+    reg.counter("dynamic.blocked").add(metrics.blocked);
+    reg.counter("dynamic.met_expectation").add(metrics.met_expectation);
+    reg.gauge("dynamic.peak_utilization").set(metrics.peak_utilization);
+  }
   metrics.time_avg_utilization = util_integral / config.horizon;
   metrics.mean_achieved_reliability =
       metrics.admitted == 0

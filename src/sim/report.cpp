@@ -1,5 +1,9 @@
 #include "sim/report.h"
 
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/export.h"
 #include "util/check.h"
 
 namespace mecra::sim {
@@ -78,6 +82,46 @@ util::Table ratio_to_first_table(const std::string& x_name,
     table.add_row(std::move(row));
   }
   return table;
+}
+
+std::string render_run_report(const io::Json& context,
+                              std::size_t top_n_spans) {
+  std::string out = "{\"schema\":\"mecra.run_report/v1\",\"context\":";
+  out += context.dump();
+  // obs::global_to_json returns {"metrics":{...},"spans":{...}}; splice
+  // its interior so metrics/spans become top-level report keys (obs sits
+  // below io/ and cannot build io::Json values itself).
+  const std::string obs_doc = obs::global_to_json(top_n_spans);
+  MECRA_CHECK(obs_doc.size() >= 2 && obs_doc.front() == '{');
+  out += ',';
+  out.append(obs_doc.begin() + 1, obs_doc.end());
+  return out;
+}
+
+void write_run_report(const std::string& path, const io::Json& context,
+                      std::size_t top_n_spans) {
+  std::ofstream file(path);
+  MECRA_CHECK_MSG(file.good(), "cannot open run report file: " + path);
+  file << render_run_report(context, top_n_spans) << "\n";
+  MECRA_CHECK_MSG(file.good(), "failed writing run report: " + path);
+}
+
+std::string run_report_path_from_env() {
+  const char* v = std::getenv("MECRA_RUN_REPORT");
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+io::Json run_context(const std::string& producer, std::uint64_t seed,
+                     std::size_t trials,
+                     const std::vector<std::string>& algorithms) {
+  io::JsonObject ctx;
+  ctx.set("producer", io::Json(producer));
+  ctx.set("seed", io::Json(seed));
+  ctx.set("trials", io::Json(trials));
+  io::JsonArray algos;
+  for (const std::string& name : algorithms) algos.emplace_back(name);
+  ctx.set("algorithms", io::Json(std::move(algos)));
+  return io::Json(std::move(ctx));
 }
 
 }  // namespace mecra::sim

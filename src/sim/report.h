@@ -1,11 +1,16 @@
 // Rendering helpers turning RunResults into the tables the figure benches
 // print (one row per sweep point and algorithm, the same series the paper
-// plots).
+// plots) — plus the run-report artifact: a machine-readable
+// `run_report.json` combining a caller-supplied context object with a
+// snapshot of the global observability registry (metrics + top-N spans).
+// The document shape is specified in docs/run_report_schema.md
+// ("mecra.run_report/v1") and round-trips through io::Json::parse.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "io/json.h"
 #include "sim/runner.h"
 #include "util/table.h"
 
@@ -35,5 +40,31 @@ struct SweepPoint {
 /// (the paper quotes "within X% of the ILP").
 [[nodiscard]] util::Table ratio_to_first_table(
     const std::string& x_name, const std::vector<SweepPoint>& sweep);
+
+// --- run reports (docs/run_report_schema.md) ---
+
+/// Renders the "mecra.run_report/v1" document as a JSON string:
+/// `context` (any JSON value; typically an object naming the producer,
+/// seed, and sweep parameters) plus the current global metrics snapshot
+/// and the `top_n_spans` longest recorded spans. Parseable by
+/// io::Json::parse; deterministic given a quiesced registry.
+[[nodiscard]] std::string render_run_report(const io::Json& context,
+                                            std::size_t top_n_spans = 32);
+
+/// Writes render_run_report() to `path` (parent directory must exist).
+/// Throws util::CheckFailure when the file cannot be written.
+void write_run_report(const std::string& path, const io::Json& context,
+                      std::size_t top_n_spans = 32);
+
+/// Destination from the MECRA_RUN_REPORT environment variable; empty when
+/// unset (run-report emission disabled). run_trials() honours this, so
+/// every figure/ablation bench can dump a report without new flags.
+[[nodiscard]] std::string run_report_path_from_env();
+
+/// Convenience context builder for run_trials-based producers: binary
+/// name, seed, trial count, and the algorithm list.
+[[nodiscard]] io::Json run_context(const std::string& producer,
+                                   std::uint64_t seed, std::size_t trials,
+                                   const std::vector<std::string>& algorithms);
 
 }  // namespace mecra::sim

@@ -6,6 +6,9 @@
 #include "core/heuristic_matching.h"
 #include "core/ilp_exact.h"
 #include "core/randomized_rounding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/report.h"
 #include "util/thread_pool.h"
 
 namespace mecra::sim {
@@ -34,11 +37,15 @@ RunResult run_trials(const ScenarioParams& params, const RunConfig& config,
                      const std::vector<AlgorithmSpec>& specs) {
   MECRA_CHECK(!specs.empty());
   MECRA_CHECK(config.trials > 0);
+  obs::TraceSpan run_span("runner.run_trials");
+  run_span.attr("trials", static_cast<double>(config.trials));
 
   const util::Rng master(config.seed);
   std::vector<TrialOutcome> outcomes(config.trials);
 
   util::parallel_for(config.trials, config.threads, [&](std::size_t trial) {
+    obs::TraceSpan trial_span("runner.trial");
+    trial_span.attr("trial", static_cast<double>(trial));
     util::Rng rng = master.child(trial);
     auto scenario = make_scenario(params, rng);
     if (!scenario.has_value()) return;
@@ -78,6 +85,17 @@ RunResult run_trials(const ScenarioParams& params, const RunConfig& config,
       if (r.expectation_met) ++agg.expectation_met;
       ++agg.trials;
     }
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("runner.trials").add(config.trials);
+    reg.counter("runner.failed_scenarios").add(run.failed_scenarios);
+  }
+  // Opt-in artifact: every run_trials-based binary (all fig*/ablation
+  // benches) dumps a run report when MECRA_RUN_REPORT names a path.
+  if (const std::string path = run_report_path_from_env(); !path.empty()) {
+    write_run_report(path, run_context("sim/runner", config.seed,
+                                       config.trials, run.algorithm_order));
   }
   return run;
 }

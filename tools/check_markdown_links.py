@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Scans every tracked .md file for inline links/images `[text](target)` and
+verifies that each RELATIVE target exists (file or directory), resolving
+it against the file that contains the link. Fragments (`file.md#anchor`)
+are checked for file existence only; external schemes (http/https/mailto)
+and pure in-page anchors (`#section`) are skipped.
+
+Exit status: 0 when all links resolve, 1 with one line per broken link
+otherwise. No third-party dependencies.
+"""
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# Inline links: [text](target "optional title"). Deliberately simple —
+# good enough for this repo's docs; fenced code blocks are stripped first.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def tracked_markdown(root: Path) -> list[Path]:
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+             "*.md", "**/*.md"],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout
+        files = [root / line for line in out.splitlines() if line]
+        if files:
+            return files
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        pass
+    return [p for p in root.rglob("*.md")
+            if not any(part in ("build", "build-noobs", ".git")
+                       for part in p.parts)]
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            base = root if path_part.startswith("/") else md.parent
+            resolved = (base / path_part.lstrip("/")).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(root)}:{lineno}: broken link "
+                    f"-> {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    files = tracked_markdown(root)
+    for md in files:
+        errors.extend(check_file(md, root))
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken link(s) across {len(files)} files")
+        return 1
+    print(f"all links OK across {len(files)} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
