@@ -17,28 +17,37 @@ double initial_reliability(const mec::VnfCatalog& catalog,
   return u;
 }
 
-std::optional<PrimaryPlacement> random_admission(
+std::optional<PrimaryPlacement> random_admission_within(
     mec::MecNetwork& network, const mec::VnfCatalog& catalog,
-    const mec::SfcRequest& request, util::Rng& rng) {
+    const mec::SfcRequest& request,
+    const std::vector<graph::NodeId>& candidates, util::Rng& rng) {
   PrimaryPlacement placement;
   placement.cloudlet_of.reserve(request.length());
   std::vector<std::pair<graph::NodeId, double>> consumed;
+  std::vector<graph::NodeId> feasible;
   for (mec::FunctionId f : request.chain) {
     const double demand = catalog.function(f).cpu_demand;
-    std::vector<graph::NodeId> candidates;
-    for (graph::NodeId v : network.cloudlets()) {
-      if (network.residual(v) >= demand) candidates.push_back(v);
+    feasible.clear();
+    for (graph::NodeId v : candidates) {
+      if (network.residual(v) >= demand) feasible.push_back(v);
     }
-    if (candidates.empty()) {
+    if (feasible.empty()) {
       for (auto& [v, amount] : consumed) network.release(v, amount);
       return std::nullopt;
     }
-    const graph::NodeId chosen = candidates[rng.index(candidates.size())];
+    const graph::NodeId chosen = feasible[rng.index(feasible.size())];
     network.consume(chosen, demand);
     consumed.emplace_back(chosen, demand);
     placement.cloudlet_of.push_back(chosen);
   }
   return placement;
+}
+
+std::optional<PrimaryPlacement> random_admission(
+    mec::MecNetwork& network, const mec::VnfCatalog& catalog,
+    const mec::SfcRequest& request, util::Rng& rng) {
+  return random_admission_within(network, catalog, request,
+                                 network.cloudlets(), rng);
 }
 
 namespace {

@@ -47,6 +47,17 @@ struct PrimaryPlacement {
     mec::MecNetwork& network, const mec::VnfCatalog& catalog,
     const mec::SfcRequest& request, util::Rng& rng);
 
+/// random_admission restricted to a candidate cloudlet subset: primaries
+/// are drawn uniformly from `candidates` (which must be cloudlet nodes)
+/// instead of the full cloudlet set. Draw-for-draw identical to
+/// random_admission when `candidates` equals network.cloudlets(). The
+/// sharded batch path (orchestrator::Orchestrator::admit_batch) uses this
+/// to confine a request's primaries to the interior of one region shard.
+[[nodiscard]] std::optional<PrimaryPlacement> random_admission_within(
+    mec::MecNetwork& network, const mec::VnfCatalog& catalog,
+    const mec::SfcRequest& request,
+    const std::vector<graph::NodeId>& candidates, util::Rng& rng);
+
 struct DagAdmissionOptions {
   /// Per-cloudlet availability multiplier applied to every instance placed
   /// there; empty means 1.0 everywhere (the paper's uniform assumption).

@@ -1,9 +1,13 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <ostream>
 #include <sstream>
+#include <unordered_map>
 
 #include "util/check.h"
 
@@ -173,6 +177,65 @@ util::Table metrics_table(const MetricsSnapshot& metrics) {
                    details.str()});
   }
   return table;
+}
+
+void export_collapsed(const std::vector<SpanEvent>& spans,
+                      std::ostream& out) {
+  // Index spans by id, sum each parent's direct-children time, and
+  // sanitize names once.
+  std::unordered_map<std::uint64_t, const SpanEvent*> by_id;
+  by_id.reserve(spans.size());
+  for (const SpanEvent& s : spans) by_id.emplace(s.id, &s);
+  std::unordered_map<std::uint64_t, std::uint64_t> children_ns;
+  for (const SpanEvent& s : spans) {
+    if (s.parent != 0 && by_id.contains(s.parent)) {
+      children_ns[s.parent] += s.duration_ns();
+    }
+  }
+  auto sanitized = [](const std::string& name) {
+    std::string clean = name;
+    for (char& c : clean) {
+      if (c == ';' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        c = '_';
+      }
+    }
+    return clean;
+  };
+
+  // Build each span's full stack string and aggregate self time per
+  // distinct stack. A sorted map makes the output order deterministic.
+  std::map<std::string, std::uint64_t> stacks;
+  for (const SpanEvent& s : spans) {
+    std::vector<const SpanEvent*> chain{&s};
+    // Walk toward the root; a missing ancestor (evicted / cross-thread)
+    // simply roots the stack there. Cycles cannot occur (ids are unique
+    // and parents always open earlier), but cap the walk defensively.
+    const SpanEvent* cur = &s;
+    while (cur->parent != 0 && chain.size() <= spans.size()) {
+      const auto it = by_id.find(cur->parent);
+      if (it == by_id.end()) break;
+      cur = it->second;
+      chain.push_back(cur);
+    }
+    std::string stack;
+    for (std::size_t i = chain.size(); i-- > 0;) {
+      if (!stack.empty()) stack += ';';
+      stack += sanitized(chain[i]->name);
+    }
+    const std::uint64_t kids = children_ns.contains(s.id)
+                                   ? children_ns.at(s.id)
+                                   : 0;
+    const std::uint64_t total = s.duration_ns();
+    const std::uint64_t self_ns = total > kids ? total - kids : 0;
+    stacks[stack] += self_ns / 1000;  // integer microseconds
+  }
+  for (const auto& [stack, self_us] : stacks) {
+    out << stack << ' ' << self_us << '\n';
+  }
+}
+
+void export_collapsed(std::ostream& out) {
+  export_collapsed(TraceRing::global().snapshot(), out);
 }
 
 util::Table spans_table(const std::vector<SpanEvent>& spans,

@@ -6,6 +6,9 @@
 //     tests), and `sim/report` embeds it into run_report.json.
 //   * `metrics_table` / `spans_table` — human-readable `util::Table`s for
 //     bench/example stdout.
+//   * `export_collapsed` — folded-stack ("collapsed") span lines for
+//     standard flamegraph tooling (flamegraph.pl, speedscope, inferno):
+//     one `root;child;leaf <self-time-µs>` line per distinct stack.
 //
 // Document shape (the "observability" object of the run-report schema;
 // see docs/run_report_schema.md):
@@ -22,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -52,5 +56,19 @@ namespace mecra::obs {
 /// thread, attrs.
 [[nodiscard]] util::Table spans_table(const std::vector<SpanEvent>& spans,
                                       std::size_t top_n = 20);
+
+/// Writes the spans as collapsed/folded stacks, the input format of
+/// flamegraph.pl and friends: each line is the semicolon-joined ancestor
+/// chain of one stack followed by a space and its SELF time in integer
+/// microseconds (a span's duration minus its children's, clamped at 0).
+/// Spans whose parent is missing from `spans` (evicted from the ring, or
+/// opened on another thread) root their own stack. Identical stacks are
+/// aggregated; lines are emitted in sorted stack order, so the output is
+/// deterministic for a given span set. `;` and whitespace in span names
+/// are replaced with `_` to keep the format unambiguous.
+void export_collapsed(const std::vector<SpanEvent>& spans, std::ostream& out);
+
+/// Convenience: collapses the global TraceRing's current contents.
+void export_collapsed(std::ostream& out);
 
 }  // namespace mecra::obs

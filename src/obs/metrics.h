@@ -227,11 +227,28 @@ class MetricsRegistry {
   /// Merged view of every instrument, sorted by name.
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
+  /// Like snapshot(), but counter values and histogram bucket counts /
+  /// count / sum are DELTAS since the previous delta_snapshot() call (the
+  /// first call reports since construction). Each call advances an
+  /// internal per-instrument baseline; snapshot() never disturbs it, so
+  /// cumulative and windowed scrapes can coexist. Semantics of the
+  /// non-delta fields: gauges are instantaneous and reported as-is, and
+  /// histogram min/max remain LIFETIME extremes (per-window extremes
+  /// cannot be reconstructed from a bounded baseline). A reset() between
+  /// windows shrinks live values below the baseline; the next delta
+  /// clamps at zero instead of underflowing. This is the scrape the
+  /// simulators use to report per-epoch time series (see
+  /// sim::DynamicEpoch).
+  [[nodiscard]] MetricsSnapshot delta_snapshot();
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// delta_snapshot() baselines: last-scraped cumulative values.
+  std::map<std::string, std::uint64_t, std::less<>> counter_baseline_;
+  std::map<std::string, Histogram::Snapshot, std::less<>> histogram_baseline_;
 };
 
 }  // namespace mecra::obs

@@ -24,11 +24,19 @@
 // repair, a batch boundary, a backoff retry) is due, so event loops can
 // merge it with their own event stream.
 //
-// Thread safety: a Controller (like the Orchestrator it drives) is owned
-// by ONE driver thread; none of its members may be called concurrently.
-// Parallelism in this codebase lives a level up — whole simulations run
-// in parallel, each with its own orchestrator + controller pair. The obs
-// counters reconcile() emits (controller.*) are safe from any thread.
+// Thread safety: a Controller is owned by ONE driver thread; none of its
+// members may be called concurrently. Internally, though, reconcile()
+// mirrors the orchestrator's sharded batch model: once the orchestrator
+// has a shard map (admit_batch has run), dirty services that are wholly
+// contained in one shard — every instance in the shard, no running active
+// on a border cloudlet — are topped up per shard on the orchestrator's
+// worker pool, while kDown and shard-straddling services take the serial
+// path after the workers join. Shard ownership makes the parallel top-ups
+// write-disjoint, and new standbys receive their instance ids in a serial
+// post-join pass (ascending service id), so results are bit-identical to
+// a single-threaded run. Whole simulations may still run in parallel, one
+// orchestrator + controller pair each. The obs counters reconcile() emits
+// (controller.*) are safe from any thread.
 #pragma once
 
 #include <cstdint>
@@ -114,8 +122,17 @@ class Controller {
     double backoff = 0.0;    // current gate width; 0 = no failed attempt yet
   };
 
+  /// One service's health check + top-up. Writes into the given metrics
+  /// and report objects (thread-local copies during the sharded pass).
+  /// `deferred_ids` routes to reaugment_deferred (sharded pass only).
   void attempt(ServiceId id, TrackedService& tracked, double now,
-               ReconcileReport& report);
+               ReconcileReport& report, ControllerMetrics& metrics,
+               bool deferred_ids);
+  /// Sharded reaugmentation over the eligible dirty services (see the
+  /// file comment); falls back to serial for unconfinable services.
+  void sharded_pass(
+      const std::vector<std::pair<ServiceId, TrackedService*>>& eligible,
+      double now, ReconcileReport& report);
 
   Orchestrator& orch_;
   ControllerOptions options_;

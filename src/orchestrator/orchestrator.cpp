@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "admission/admission.h"
 #include "core/bmcgap.h"
@@ -132,6 +133,289 @@ std::optional<ServiceId> Orchestrator::admit(const mec::SfcRequest& request,
   const ServiceId id = svc.id;
   services_.emplace(id, std::move(svc));
   return id;
+}
+
+const mec::ShardMap& Orchestrator::shard_map() {
+  if (shard_map_ == nullptr) {
+    shard_map_ = std::make_unique<mec::ShardMap>(mec::ShardMap::build(
+        network_, {.l_hops = options_.l_hops,
+                   .num_shards = options_.batch.num_shards}));
+    border_debit_ =
+        std::make_unique<std::atomic<double>[]>(network_.num_nodes());
+    for (std::size_t v = 0; v < network_.num_nodes(); ++v) {
+      border_debit_[v].store(0.0, std::memory_order_relaxed);
+    }
+    if (obs::enabled()) {
+      auto& reg = obs::MetricsRegistry::global();
+      reg.gauge("shard.count")
+          .set(static_cast<double>(shard_map_->num_shards()));
+      reg.gauge("shard.border_cloudlets")
+          .set(static_cast<double>(shard_map_->border_count()));
+      reg.gauge("shard.interior_cloudlets")
+          .set(static_cast<double>(network_.cloudlets().size() -
+                                   shard_map_->border_count()));
+    }
+  }
+  return *shard_map_;
+}
+
+util::ThreadPool* Orchestrator::batch_pool() {
+  if (options_.batch.threads <= 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.batch.threads);
+  }
+  return pool_.get();
+}
+
+void Orchestrator::note_border_debit(graph::NodeId v, double amount) {
+  if (!shard_map_->is_border(v)) return;
+  auto& slot = border_debit_[v];
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + amount,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Orchestrator::admit_in_shard(const mec::SfcRequest& request,
+                                  std::size_t shard,
+                                  std::uint64_t batch_salt, std::size_t index,
+                                  StagedAdmission& staged) {
+  staged.shard = shard;
+  const auto& interior = shard_map_->interior_cloudlets(shard);
+  if (interior.empty()) return;  // nothing confinable; fallback pass retries
+  util::Rng rng(util::derive_seed(batch_salt, index));
+  auto primaries = admission::random_admission_within(network_, catalog_,
+                                                      request, interior, rng);
+  if (!primaries.has_value()) return;  // fallback pass retries network-wide
+
+  Service svc;
+  svc.request = request;
+  for (std::uint32_t p = 0; p < request.length(); ++p) {
+    svc.instances.push_back(Instance{kPendingInstanceId, p,
+                                     primaries->cloudlet_of[p],
+                                     InstanceRole::kActive,
+                                     InstanceState::kRunning});
+  }
+  auto instance =
+      core::build_bmcgap(network_, catalog_, request, *primaries,
+                         {.l_hops = options_.l_hops}, *shard_map_);
+  auto algorithm =
+      options_.algorithm ? options_.algorithm : core::augment_heuristic;
+  auto result = algorithm(instance, options_.augment);
+  MECRA_CHECK_MSG(core::validate(instance, result).feasible,
+                  "orchestrator requires capacity-feasible augmentation");
+  core::apply_placements(network_, instance, result);
+  for (const auto& placement : result.placements) {
+    svc.instances.push_back(Instance{kPendingInstanceId, placement.chain_pos,
+                                     placement.cloudlet,
+                                     InstanceRole::kStandby,
+                                     InstanceState::kRunning});
+  }
+  svc.state = ServiceState::kHealthy;
+  for (const Instance& inst : svc.instances) {
+    note_border_debit(inst.cloudlet,
+                      catalog_.function(request.chain[inst.chain_pos])
+                          .cpu_demand);
+  }
+  staged.svc = std::move(svc);
+  if (options_.batch.record_audit) {
+    staged.instance = std::move(instance);
+    staged.result = std::move(result);
+  }
+  staged.admitted = true;
+}
+
+std::vector<std::optional<ServiceId>> Orchestrator::admit_batch(
+    const std::vector<mec::SfcRequest>& requests, util::Rng& rng) {
+  obs::TraceSpan span("orchestrator.admit_batch");
+  std::vector<std::optional<ServiceId>> out(requests.size());
+  batch_audit_ = BatchAudit{};
+  if (requests.empty()) return out;
+  const mec::ShardMap& map = shard_map();
+
+  // Down cloudlets present zero residual for the whole batch, exactly as
+  // in the serial admit() path.
+  const DownMask mask(*this);
+
+  // One draw salts the batch; request i derives its own stream from
+  // (salt, i), so outcomes cannot depend on which worker runs which shard.
+  const std::uint64_t batch_salt = rng();
+
+  std::vector<std::vector<std::size_t>> groups(map.num_shards());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    groups[map.home_shard(requests[i].source)].push_back(i);
+  }
+  std::vector<std::size_t> active_shards;
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (!groups[s].empty()) active_shards.push_back(s);
+  }
+
+  // Snapshot border residuals and zero the debit slots; the post-join
+  // audit proves no worker wrote capacity outside its shard.
+  std::vector<std::pair<graph::NodeId, double>> border_before;
+  for (graph::NodeId v : network_.cloudlets()) {
+    if (map.is_border(v)) {
+      border_debit_[v].store(0.0, std::memory_order_relaxed);
+      border_before.emplace_back(v, network_.residual(v));
+    }
+  }
+
+  std::vector<StagedAdmission> staged(requests.size());
+  auto run_shard = [&](std::size_t k) {
+    const std::size_t s = active_shards[k];
+    obs::TraceSpan shard_span("shard.admit");
+    shard_span.attr("shard", static_cast<double>(s));
+    shard_span.attr("requests", static_cast<double>(groups[s].size()));
+    for (std::size_t i : groups[s]) {
+      admit_in_shard(requests[i], s, batch_salt, i, staged[i]);
+    }
+  };
+  util::ThreadPool* pool = batch_pool();
+  if (pool != nullptr && active_shards.size() > 1) {
+    pool->parallel_for(active_shards.size(), run_shard);
+  } else {
+    for (std::size_t k = 0; k < active_shards.size(); ++k) run_shard(k);
+  }
+
+  // Border conservation audit: every border cloudlet's residual must have
+  // moved by exactly the debits workers declared against it.
+  for (const auto& [v, before] : border_before) {
+    const double debit = border_debit_[v].load(std::memory_order_relaxed);
+    MECRA_CHECK_MSG(
+        std::abs(network_.residual(v) - (before - debit)) <=
+            1e-6 * std::max(1.0, before),
+        "border-cloudlet capacity changed outside the declared shard debits");
+  }
+
+  // Serial border/fallback pass: requests the shard-confined phase could
+  // not place retry against the whole network, in request order, under the
+  // fallback lock.
+  std::size_t fallback_attempts = 0;
+  {
+    const std::lock_guard<std::mutex> lock(batch_mutex_);
+    const std::uint64_t fallback_salt =
+        util::derive_seed(batch_salt, 0x0fa11bacULL);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (staged[i].admitted) continue;
+      ++fallback_attempts;
+      util::Rng fb_rng(util::derive_seed(fallback_salt, i));
+      auto primaries = admission::random_admission(network_, catalog_,
+                                                   requests[i], fb_rng);
+      if (!primaries.has_value()) continue;
+      Service svc;
+      svc.request = requests[i];
+      for (std::uint32_t p = 0; p < requests[i].length(); ++p) {
+        svc.instances.push_back(Instance{kPendingInstanceId, p,
+                                         primaries->cloudlet_of[p],
+                                         InstanceRole::kActive,
+                                         InstanceState::kRunning});
+      }
+      auto instance =
+          core::build_bmcgap(network_, catalog_, requests[i], *primaries,
+                             {.l_hops = options_.l_hops}, map);
+      auto algorithm =
+          options_.algorithm ? options_.algorithm : core::augment_heuristic;
+      auto result = algorithm(instance, options_.augment);
+      MECRA_CHECK_MSG(core::validate(instance, result).feasible,
+                      "orchestrator requires capacity-feasible augmentation");
+      core::apply_placements(network_, instance, result);
+      for (const auto& placement : result.placements) {
+        svc.instances.push_back(Instance{kPendingInstanceId,
+                                         placement.chain_pos,
+                                         placement.cloudlet,
+                                         InstanceRole::kStandby,
+                                         InstanceState::kRunning});
+      }
+      svc.state = ServiceState::kHealthy;
+      staged[i].svc = std::move(svc);
+      staged[i].via_fallback = true;
+      if (options_.batch.record_audit) {
+        staged[i].instance = std::move(instance);
+        staged[i].result = std::move(result);
+      }
+      staged[i].admitted = true;
+    }
+  }
+
+  // Commit phase (driver thread): service and instance ids are assigned in
+  // ascending request order, reproducing the serial sequence bit-for-bit.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!staged[i].admitted) {
+      ++batch_audit_.rejected;
+      continue;
+    }
+    if (staged[i].via_fallback) {
+      ++batch_audit_.fallback_admitted;
+    } else {
+      ++batch_audit_.parallel_admitted;
+    }
+    Service svc = std::move(staged[i].svc);
+    svc.id = next_service_++;
+    for (Instance& inst : svc.instances) inst.id = next_instance_++;
+    out[i] = svc.id;
+    if (options_.batch.record_audit) {
+      BatchAudit::Entry entry;
+      entry.request_index = i;
+      entry.shard = staged[i].shard;
+      entry.via_fallback = staged[i].via_fallback;
+      entry.instance = std::move(staged[i].instance);
+      entry.result = std::move(staged[i].result);
+      batch_audit_.entries.push_back(std::move(entry));
+    }
+    services_.emplace(svc.id, std::move(svc));
+  }
+
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& b_requests = reg.counter("batch.requests");
+    static obs::Counter& b_admitted = reg.counter("batch.admitted");
+    static obs::Counter& b_rejected = reg.counter("batch.rejected");
+    static obs::Counter& b_fallback = reg.counter("batch.fallback_requests");
+    static obs::Counter& a_attempts = reg.counter("admission.attempts");
+    static obs::Counter& a_accepted = reg.counter("admission.accepted");
+    static obs::Counter& a_rejected = reg.counter("admission.rejected");
+    static obs::Histogram& b_size = reg.histogram(
+        "batch.size", obs::Histogram::exponential_bounds(1.0, 2.0, 12));
+    const std::uint64_t admitted =
+        batch_audit_.parallel_admitted + batch_audit_.fallback_admitted;
+    b_requests.add(requests.size());
+    b_admitted.add(admitted);
+    b_rejected.add(batch_audit_.rejected);
+    b_fallback.add(fallback_attempts);
+    a_attempts.add(requests.size());
+    a_accepted.add(admitted);
+    a_rejected.add(batch_audit_.rejected);
+    b_size.observe(static_cast<double>(requests.size()));
+  }
+  span.attr("requests", static_cast<double>(requests.size()));
+  span.attr("admitted",
+            static_cast<double>(batch_audit_.parallel_admitted +
+                                batch_audit_.fallback_admitted));
+  span.attr("fallback", static_cast<double>(fallback_attempts));
+  span.attr("shards", static_cast<double>(active_shards.size()));
+  return out;
+}
+
+std::optional<std::size_t> Orchestrator::service_home_shard(ServiceId id) {
+  const mec::ShardMap& map = shard_map();
+  const Service& svc = service(id);
+  std::optional<std::size_t> shard;
+  for (const Instance& inst : svc.instances) {
+    if (!network_.is_cloudlet(inst.cloudlet)) return std::nullopt;
+    const std::size_t s = map.shard_of(inst.cloudlet);
+    if (!shard.has_value()) {
+      shard = s;
+    } else if (*shard != s) {
+      return std::nullopt;  // straddles shards
+    }
+    // A running active on a border cloudlet could pull reaugment
+    // candidates from a neighbouring shard; keep such services serial.
+    if (inst.state == InstanceState::kRunning &&
+        inst.role == InstanceRole::kActive && map.is_border(inst.cloudlet)) {
+      return std::nullopt;
+    }
+  }
+  return shard;
 }
 
 void Orchestrator::promote_for_position(Service& svc,
@@ -287,6 +571,22 @@ bool Orchestrator::revive(ServiceId service_id) {
 }
 
 std::size_t Orchestrator::reaugment(ServiceId service_id) {
+  return reaugment_impl(service_id, /*deferred_ids=*/false);
+}
+
+std::size_t Orchestrator::reaugment_deferred(ServiceId service_id) {
+  return reaugment_impl(service_id, /*deferred_ids=*/true);
+}
+
+void Orchestrator::assign_pending_instance_ids(ServiceId service_id) {
+  Service& svc = service_mut(service_id);
+  for (Instance& inst : svc.instances) {
+    if (inst.id == kPendingInstanceId) inst.id = next_instance_++;
+  }
+}
+
+std::size_t Orchestrator::reaugment_impl(ServiceId service_id,
+                                         bool deferred_ids) {
   Service& svc = service_mut(service_id);
   if (svc.state == ServiceState::kDown) return 0;  // needs repair first
 
@@ -306,9 +606,13 @@ std::size_t Orchestrator::reaugment(ServiceId service_id) {
     }
   }
 
+  // The shard map's neighbourhood cache gives byte-identical candidate
+  // lists without the per-position BFS; use it once it exists.
   std::vector<std::vector<graph::NodeId>> allowed(len);
   for (std::uint32_t p = 0; p < len; ++p) {
-    allowed[p] = network_.cloudlets_within(active_at[p], options_.l_hops);
+    allowed[p] = shard_map_ != nullptr
+                     ? shard_map_->neighborhood(active_at[p])
+                     : network_.cloudlets_within(active_at[p], options_.l_hops);
   }
 
   auto ln_reliability = [&] {
@@ -350,9 +654,9 @@ std::size_t Orchestrator::reaugment(ServiceId service_id) {
     network_.consume(best_u, fn.cpu_demand);
     ++running[best_p];
     ++added;
-    svc.instances.push_back(Instance{next_instance_++, best_p, best_u,
-                                     InstanceRole::kStandby,
-                                     InstanceState::kRunning});
+    svc.instances.push_back(Instance{
+        deferred_ids ? kPendingInstanceId : next_instance_++, best_p, best_u,
+        InstanceRole::kStandby, InstanceState::kRunning});
   }
   (void)refresh_state(service_id);
   return added;

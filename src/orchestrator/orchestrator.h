@@ -8,6 +8,9 @@
 // set of running services, and processes events —
 //
 //   * admit(request)            admission + reliability augmentation;
+//   * admit_batch(requests)     a whole arrival batch, partitioned by home
+//                               shard and admitted concurrently (see the
+//                               thread-safety notes below);
 //   * fail_instance(...)        an instance dies; if it was the active one
 //                               a secondary is promoted (nearest-first, the
 //                               l-hop locality the paper motivates);
@@ -26,15 +29,32 @@
 // fail_cloudlet and repair_cloudlet is DOWN: admit, reaugment, and revive
 // all refuse to place new instances on it.
 //
-// Thread safety: an Orchestrator is confined to one driver thread (it
-// mutates the network it owns with no internal locking). Run concurrent
-// simulations with one Orchestrator each; the obs counters admit() emits
-// (admission.*) are safe from any thread.
+// Thread safety — the sharded model. Mutating entry points (admit,
+// admit_batch, fail_*, repair_cloudlet, reaugment, revive, teardown) must
+// be called from ONE driver thread; the orchestrator is not a free-threaded
+// object. Inside admit_batch (and the controller's sharded reconcile) the
+// orchestrator fans work out to its own thread pool, and safety there rests
+// on shard ownership rather than locks: the ShardMap partitions cloudlets
+// into regions such that every l-hop backup neighbourhood of an INTERIOR
+// cloudlet stays inside its own shard, each worker serves exactly one
+// shard, and therefore no two workers ever touch the same cloudlet's
+// residual or the same service. Requests that cannot be confined to one
+// shard's interior take a serial fallback pass under `batch_mutex_` after
+// the workers join. Border cloudlets additionally carry atomic debit
+// counters that a post-join conservation audit checks, so a violated
+// ownership invariant fails fast instead of corrupting capacities.
+// Driver-thread-only regardless of sharding: everything that reshapes the
+// service table or the down set (admit, fail_*, repair_cloudlet, teardown)
+// and all non-const accessors. The obs instruments recorded throughout
+// (admission.*, batch.*, shard.*) are safe from any thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
@@ -42,8 +62,10 @@
 #include "core/augmentation.h"
 #include "mec/network.h"
 #include "mec/request.h"
+#include "mec/shard_map.h"
 #include "mec/vnf.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace mecra::orchestrator {
 
@@ -79,6 +101,20 @@ struct Service {
   [[nodiscard]] double current_reliability(const mec::VnfCatalog& catalog) const;
 };
 
+/// Knobs for the sharded batch-admission engine (admit_batch and the
+/// controller's sharded reconcile).
+struct BatchOptions {
+  /// Worker threads for per-shard work; 0 or 1 runs shards inline on the
+  /// driver thread. Results are bit-identical for every value (asserted
+  /// in tests) — threads only change wall-clock time.
+  std::size_t threads = 1;
+  /// Region count forwarded to mec::ShardMapOptions (0 = auto).
+  std::size_t num_shards = 0;
+  /// Keep the per-request (instance, result) pairs of the last batch in
+  /// last_batch_audit() so tests can re-run core::validate on them.
+  bool record_audit = false;
+};
+
 struct OrchestratorOptions {
   std::uint32_t l_hops = 1;
   core::AugmentOptions augment;
@@ -86,6 +122,27 @@ struct OrchestratorOptions {
   std::function<core::AugmentationResult(const core::BmcgapInstance&,
                                          const core::AugmentOptions&)>
       algorithm;
+  BatchOptions batch;
+};
+
+/// Everything admit_batch decided for one batch, kept only when
+/// BatchOptions::record_audit is set. Entries cover ADMITTED requests,
+/// ascending request index.
+struct BatchAudit {
+  struct Entry {
+    std::size_t request_index = 0;
+    /// Home shard the request was bucketed into.
+    std::size_t shard = 0;
+    /// True when the request left the parallel phase and was admitted by
+    /// the serial whole-network fallback pass.
+    bool via_fallback = false;
+    core::BmcgapInstance instance;
+    core::AugmentationResult result;
+  };
+  std::vector<Entry> entries;
+  std::size_t parallel_admitted = 0;
+  std::size_t fallback_admitted = 0;
+  std::size_t rejected = 0;
 };
 
 class Orchestrator {
@@ -104,6 +161,46 @@ class Orchestrator {
   /// placed backups standby. Returns nullopt when admission fails.
   std::optional<ServiceId> admit(const mec::SfcRequest& request,
                                  util::Rng& rng);
+
+  /// Admits a whole arrival batch, sharded: requests are bucketed by the
+  /// home shard of their source AP and admitted concurrently, one worker
+  /// per shard, with primaries confined to the shard's INTERIOR cloudlets
+  /// (so every backup candidate stays inside the shard — no cross-shard
+  /// capacity writes). Requests whose shard attempt finds no interior
+  /// capacity retry serially against the whole network after the workers
+  /// join (the border/fallback pass, under `batch_mutex_`). Returns one
+  /// slot per input request, in order.
+  ///
+  /// Deterministic: one draw from `rng` salts the batch; request i then
+  /// uses its own derived stream (util::derive_seed), so placements and
+  /// instance ids are bit-identical for any BatchOptions::threads value.
+  std::vector<std::optional<ServiceId>> admit_batch(
+      const std::vector<mec::SfcRequest>& requests, util::Rng& rng);
+
+  /// The region partition admit_batch uses, built lazily from the network
+  /// and OrchestratorOptions (l_hops, batch.num_shards) on first use.
+  [[nodiscard]] const mec::ShardMap& shard_map();
+  /// True once shard_map() has been built (admit_batch was used). The
+  /// controller switches to sharded reconcile ordering when this holds.
+  [[nodiscard]] bool has_shard_map() const noexcept {
+    return shard_map_ != nullptr;
+  }
+  /// The batch worker pool; nullptr while batch.threads <= 1. Built
+  /// lazily alongside the first sharded batch.
+  [[nodiscard]] util::ThreadPool* batch_pool();
+
+  /// Audit of the most recent admit_batch (empty unless
+  /// BatchOptions::record_audit was set).
+  [[nodiscard]] const BatchAudit& last_batch_audit() const noexcept {
+    return batch_audit_;
+  }
+
+  /// Shard that exclusively owns every instance of the service, or nullopt
+  /// when the service straddles shards or keeps a running active on a
+  /// BORDER cloudlet (its reaugment candidates could leave the shard).
+  /// Services with a home shard may be reaugmented concurrently, one
+  /// worker per shard; everything else must stay on the serial path.
+  [[nodiscard]] std::optional<std::size_t> service_home_shard(ServiceId id);
 
   [[nodiscard]] const Service& service(ServiceId id) const;
   [[nodiscard]] std::vector<ServiceId> services() const;
@@ -135,6 +232,19 @@ class Orchestrator {
   /// number of standbys added. Down cloudlets are never chosen.
   std::size_t reaugment(ServiceId service);
 
+  /// reaugment() variant for the controller's sharded reconcile: safe to
+  /// run concurrently for services whose service_home_shard() differ (it
+  /// only touches that service and its shard's residuals). New standbys
+  /// get a SENTINEL instance id; the driver thread must call
+  /// assign_pending_instance_ids for every touched service — ascending
+  /// service id — after the workers join, which reproduces the serial
+  /// id sequence exactly.
+  std::size_t reaugment_deferred(ServiceId service);
+
+  /// Replaces sentinel instance ids left by reaugment_deferred with real
+  /// ones (driver thread only; see reaugment_deferred).
+  void assign_pending_instance_ids(ServiceId service);
+
   /// Brings a kDown service back: every position with no running instance
   /// gets a fresh ACTIVE instance on the up cloudlet with the largest
   /// residual that fits (ties: lowest node id); positions with running
@@ -165,9 +275,33 @@ class Orchestrator {
     std::vector<std::pair<graph::NodeId, double>> held_;
   };
 
+  /// Sentinel id carried by instances staged off the driver thread until
+  /// assign_pending_instance_ids / the batch commit phase numbers them.
+  static constexpr InstanceId kPendingInstanceId =
+      ~static_cast<InstanceId>(0);
+
+  /// One request's staged outcome inside admit_batch, before commit.
+  struct StagedAdmission {
+    bool admitted = false;
+    bool via_fallback = false;
+    std::size_t shard = 0;
+    Service svc;  // instance ids are kPendingInstanceId until commit
+    core::BmcgapInstance instance;
+    core::AugmentationResult result;
+  };
+
   Service& service_mut(ServiceId id);
   void promote_for_position(Service& svc, std::uint32_t chain_pos,
                             graph::NodeId failed_at);
+  std::size_t reaugment_impl(ServiceId service, bool deferred_ids);
+  /// Shard-confined admission attempt for request `index` (worker
+  /// threads); falls back by leaving `staged.admitted` false.
+  void admit_in_shard(const mec::SfcRequest& request, std::size_t shard,
+                      std::uint64_t batch_salt, std::size_t index,
+                      StagedAdmission& staged);
+  /// Records `amount` against v's atomic border-debit slot when v is a
+  /// border cloudlet (conservation audit; see admit_batch).
+  void note_border_debit(graph::NodeId v, double amount);
 
   mec::MecNetwork network_;
   mec::VnfCatalog catalog_;
@@ -176,6 +310,19 @@ class Orchestrator {
   std::set<graph::NodeId> down_cloudlets_;
   ServiceId next_service_ = 0;
   InstanceId next_instance_ = 0;
+
+  // --- sharded batch engine state (lazy; see admit_batch) ---
+  std::unique_ptr<mec::ShardMap> shard_map_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  /// Serializes the border/fallback pass (the "fallback lock").
+  std::mutex batch_mutex_;
+  /// Per-node atomic debit counters, allocated for the whole node range;
+  /// only border-cloudlet slots are ever written. After the parallel
+  /// phase, residual(v) must equal its pre-batch snapshot minus this
+  /// debit for every border cloudlet — a cheap runtime proof that no
+  /// worker escaped its shard.
+  std::unique_ptr<std::atomic<double>[]> border_debit_;
+  BatchAudit batch_audit_;
 };
 
 }  // namespace mecra::orchestrator

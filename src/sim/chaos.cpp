@@ -26,6 +26,7 @@ enum Stream : std::uint64_t {
   kHoldingStream = 3,
   kInstanceFailureStream = 4,
   kOutageStream = 5,
+  kBatchStream = 6,
 };
 
 struct Departure {
@@ -57,11 +58,14 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
   MECRA_CHECK(config.horizon > 0.0);
   MECRA_CHECK(config.instance_failure_rate >= 0.0);
   MECRA_CHECK(config.cloudlet_outage_rate >= 0.0);
+  MECRA_CHECK(config.max_batch_arrivals >= 1);
 
   orchestrator::OrchestratorOptions orch_options;
   orch_options.l_hops = config.l_hops;
   orch_options.augment = config.augment;
   orch_options.algorithm = config.algorithm;
+  orch_options.batch.threads = config.batch_threads;
+  orch_options.batch.num_shards = config.batch_shards;
   orchestrator::Orchestrator orch(base_network, catalog, orch_options);
   orchestrator::Controller controller(orch, config.controller);
 
@@ -150,6 +154,36 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
     note_transitions(now);
   };
 
+  // Arrival pooling (max_batch_arrivals > 1): consecutive arrivals stack
+  // up in `pool` and are admitted together through the sharded batch
+  // engine. The flush runs at the last pooled arrival's timestamp; every
+  // tracked service was already observed up to that time (each pooled
+  // arrival ran observe()), so nothing is integrated mid-interval.
+  const bool pooling = config.max_batch_arrivals > 1;
+  util::Rng batch_rng = util::Rng(seed).child(kBatchStream);
+  std::vector<mec::SfcRequest> pool;
+  double pool_time = 0.0;
+  auto flush_pool = [&] {
+    if (pool.empty()) return;
+    const double t = pool_time;
+    const auto ids = orch.admit_batch(pool, batch_rng);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (!ids[i].has_value()) {
+        ++m.blocked;
+        record(t, ChaosEventKind::kBlock, pool[i].id);
+        continue;
+      }
+      ++m.admitted;
+      record(t, ChaosEventKind::kAdmit, *ids[i]);
+      tracked[*ids[i]].last_observed = t;
+      controller.on_admit(*ids[i], t);
+      departures.push(Departure{
+          t + holding_rng.exponential(config.mean_holding_time), *ids[i]});
+    }
+    pool.clear();
+    reconcile(t);
+  };
+
   double next_arrival = arrival_rng.exponential(1.0 / config.arrival_rate);
   double next_ifail =
       config.instance_failure_rate > 0.0
@@ -169,6 +203,17 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
         departures.empty() ? kInf : departures.top().time;
     double now = std::min({wake, departure, next_arrival, next_ifail,
                            next_outage});
+    if (!pool.empty()) {
+      // A non-arrival event (or the horizon) is about to interleave: flush
+      // the pool first, then re-derive the merged stream — the flush's
+      // reconcile may move the controller wakeup.
+      const bool arrival_wins = now < config.horizon && wake > now &&
+                                departure > now && next_arrival <= now;
+      if (!arrival_wins) {
+        flush_pool();
+        continue;
+      }
+    }
     if (now >= config.horizon) break;
 
     observe(now);
@@ -194,6 +239,12 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
       rp.expectation = config.expectation;
       const auto request = mec::random_request(
           request_id++, catalog, orch.network().num_nodes(), rp, request_rng);
+      if (pooling) {
+        pool.push_back(request);
+        pool_time = now;
+        if (pool.size() >= config.max_batch_arrivals) flush_pool();
+        continue;
+      }
       const auto admitted = orch.admit(request, request_rng);
       if (!admitted.has_value()) {
         ++m.blocked;

@@ -79,6 +79,21 @@ struct ChaosConfig {
   orchestrator::ControllerOptions controller;
   /// Record the merged event trace in the report (determinism tests).
   bool record_trace = false;
+  /// Pool up to this many CONSECUTIVE arrivals and admit the pool through
+  /// Orchestrator::admit_batch in one sharded call. 1 (the default) keeps
+  /// the classic per-arrival admission — the historical event stream is
+  /// preserved bit for bit. A pool flushes when it is full, when any
+  /// non-arrival event would interleave, or at the horizon; the flush runs
+  /// at the LAST pooled arrival's timestamp, so no capacity is held early.
+  /// Pooled admissions draw from a dedicated batch stream (the request
+  /// CONTENTS stay identical to the classic mode; placements may differ).
+  std::size_t max_batch_arrivals = 1;
+  /// Worker threads / shard-count override for the sharded batch engine
+  /// (orchestrator::BatchOptions); meaningful only when
+  /// max_batch_arrivals > 1. Traces are bit-identical for every thread
+  /// count (asserted in tests).
+  std::size_t batch_threads = 1;
+  std::size_t batch_shards = 0;
 };
 
 struct ChaosMetrics {

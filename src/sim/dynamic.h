@@ -8,6 +8,16 @@
 // reliability augmented by a pluggable algorithm; departures return all
 // consumed capacity. Metrics cover admission, expectation attainment, and
 // time-averaged utilization.
+//
+// Two admission regimes share the workload model:
+//
+//   * batch_window == 0 (default) — the classic one-at-a-time event loop,
+//     byte-identical to the pre-batching simulator;
+//   * batch_window > 0 — arrivals are pooled into fixed windows and each
+//     pool is admitted through Orchestrator::admit_batch, the sharded
+//     batch engine. This mode also reports a per-window time series
+//     (DynamicEpoch), each entry carrying the obs registry's windowed
+//     delta (MetricsRegistry::delta_snapshot).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +25,7 @@
 #include <vector>
 
 #include "core/augmentation.h"
+#include "obs/metrics.h"
 #include "sim/workload.h"
 
 namespace mecra::sim {
@@ -37,6 +48,34 @@ struct DynamicConfig {
   std::function<core::AugmentationResult(const core::BmcgapInstance&,
                                          const core::AugmentOptions&)>
       algorithm;
+  /// Width of the arrival-pooling window. 0 runs the classic
+  /// one-request-at-a-time loop; > 0 pools every arrival inside a window
+  /// and admits the pool through the sharded batch engine at the window's
+  /// end (departures still release at their exact times). The workload
+  /// stream (arrival times, request contents) is the same for every
+  /// window width — only admission order and timing change.
+  double batch_window = 0.0;
+  /// Worker threads for the sharded batch engine (batched mode only;
+  /// forwarded to orchestrator::BatchOptions). Results are bit-identical
+  /// for every value.
+  std::size_t batch_threads = 1;
+  /// Shard-count override for the batch engine (0 = auto).
+  std::size_t batch_shards = 0;
+};
+
+/// One pooling window of the batched regime: admission counts for the
+/// window plus the obs registry's delta over it.
+struct DynamicEpoch {
+  double end_time = 0.0;
+  std::size_t arrivals = 0;
+  std::size_t admitted = 0;
+  std::size_t blocked = 0;
+  std::size_t departed = 0;
+  /// Instantaneous utilization at the window's end.
+  double utilization = 0.0;
+  /// Windowed delta of the global obs registry over this epoch
+  /// (MetricsRegistry::delta_snapshot); empty while obs is disabled.
+  obs::MetricsSnapshot obs_delta;
 };
 
 struct DynamicMetrics {
@@ -51,6 +90,8 @@ struct DynamicMetrics {
   double peak_utilization = 0.0;
   /// Residual at the end of the run (for conservation checks).
   double final_total_residual = 0.0;
+  /// Per-window series; filled only in batched mode (batch_window > 0).
+  std::vector<DynamicEpoch> epochs;
 };
 
 /// Runs the event loop on a COPY of `network` (the input is untouched).

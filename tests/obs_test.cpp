@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -199,6 +200,108 @@ TEST_F(ObsTest, RegistryResetBetweenEpochsKeepsRegistrations) {
   // Cached references stay valid and record into epoch 2.
   reg.counter("epoch.count").add(3);
   EXPECT_EQ(reg.counter("epoch.count").value(), 3u);
+}
+
+TEST_F(ObsTest, DeltaSnapshotWindowsCountersAndHistograms) {
+  MetricsRegistry reg;
+  reg.counter("win.count").add(5);
+  reg.gauge("win.gauge").set(1.5);
+  Histogram& h = reg.histogram("win.hist", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+
+  // First delta reports since construction.
+  MetricsSnapshot first = reg.delta_snapshot();
+  ASSERT_EQ(first.counters.size(), 1u);
+  EXPECT_EQ(first.counters[0].value, 5u);
+  ASSERT_EQ(first.histograms.size(), 1u);
+  EXPECT_EQ(first.histograms[0].data.count, 2u);
+  EXPECT_DOUBLE_EQ(first.histograms[0].data.sum, 2.0);
+
+  // Second window sees only what happened after the first scrape; gauges
+  // stay instantaneous and min/max stay lifetime extremes.
+  reg.counter("win.count").add(2);
+  reg.gauge("win.gauge").set(9.0);
+  h.observe(10.0);
+  MetricsSnapshot second = reg.delta_snapshot();
+  EXPECT_EQ(second.counters[0].value, 2u);
+  EXPECT_DOUBLE_EQ(second.gauges[0].value, 9.0);
+  EXPECT_EQ(second.histograms[0].data.count, 1u);
+  EXPECT_DOUBLE_EQ(second.histograms[0].data.sum, 10.0);
+  EXPECT_DOUBLE_EQ(second.histograms[0].data.min, 0.5);
+  EXPECT_DOUBLE_EQ(second.histograms[0].data.max, 10.0);
+  // Overflow bucket carries the delta of the 10.0 observation.
+  EXPECT_EQ(second.histograms[0].data.counts.back(), 1u);
+
+  // An idle window reports zero deltas.
+  MetricsSnapshot idle = reg.delta_snapshot();
+  EXPECT_EQ(idle.counters[0].value, 0u);
+  EXPECT_EQ(idle.histograms[0].data.count, 0u);
+  EXPECT_DOUBLE_EQ(idle.histograms[0].data.sum, 0.0);
+
+  // cumulative snapshot() never disturbs the delta baseline...
+  reg.counter("win.count").add(4);
+  (void)reg.snapshot();
+  EXPECT_EQ(reg.delta_snapshot().counters[0].value, 4u);
+
+  // ...and a reset() between windows clamps at zero instead of wrapping.
+  reg.counter("win.count").add(1);
+  reg.reset();
+  EXPECT_EQ(reg.delta_snapshot().counters[0].value, 0u);
+}
+
+// ---------------------------------------------- collapsed-stack exporter
+
+TEST_F(ObsTest, CollapsedExportFoldsStacksAndSubtractsChildTime) {
+  // Hand-built span tree (times in ns):
+  //   root [0, 10000] -> child [1000, 4000] twice the same name,
+  //   plus an orphan whose parent was evicted from the ring.
+  std::vector<SpanEvent> spans;
+  SpanEvent root;
+  root.id = 1;
+  root.parent = 0;
+  root.name = "root op";  // space must sanitize to '_'
+  root.start_ns = 0;
+  root.end_ns = 10000;
+  SpanEvent child1;
+  child1.id = 2;
+  child1.parent = 1;
+  child1.name = "child";
+  child1.start_ns = 1000;
+  child1.end_ns = 4000;
+  SpanEvent child2 = child1;
+  child2.id = 3;
+  child2.start_ns = 5000;
+  child2.end_ns = 8000;
+  SpanEvent orphan;
+  orphan.id = 4;
+  orphan.parent = 99;  // not in the set: roots its own stack
+  orphan.name = "orphan";
+  orphan.start_ns = 0;
+  orphan.end_ns = 2000;
+  spans = {root, child1, child2, orphan};
+
+  std::ostringstream out;
+  export_collapsed(spans, out);
+  // Deterministic (sorted) stack order; self time in integer µs:
+  // root = 10 − 3 − 3 = 4, the two childs aggregate to 6, orphan 2.
+  EXPECT_EQ(out.str(),
+            "orphan 2\n"
+            "root_op 4\n"
+            "root_op;child 6\n");
+}
+
+TEST_F(ObsTest, CollapsedExportOfGlobalRingCoversLiveSpans) {
+  TraceRing::global().clear();
+  {
+    TraceSpan outer("outer");
+    TraceSpan inner("inner");
+  }
+  std::ostringstream out;
+  export_collapsed(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("outer "), std::string::npos);
+  EXPECT_NE(text.find("outer;inner "), std::string::npos);
 }
 
 // -------------------------------------------------- JSON export round-trip
