@@ -23,7 +23,10 @@ std::optional<PrimaryPlacement> random_admission_within(
     const std::vector<graph::NodeId>& candidates, util::Rng& rng) {
   PrimaryPlacement placement;
   placement.cloudlet_of.reserve(request.length());
-  std::vector<std::pair<graph::NodeId, double>> consumed;
+  // Rollback restores the CAPTURED pre-consume residuals (newest first)
+  // rather than releasing the amounts back: (r - x) + x can drift by an
+  // ulp, and crash recovery needs failed attempts to be exactly invisible.
+  std::vector<std::pair<graph::NodeId, double>> touched;
   std::vector<graph::NodeId> feasible;
   for (mec::FunctionId f : request.chain) {
     const double demand = catalog.function(f).cpu_demand;
@@ -32,12 +35,14 @@ std::optional<PrimaryPlacement> random_admission_within(
       if (network.residual(v) >= demand) feasible.push_back(v);
     }
     if (feasible.empty()) {
-      for (auto& [v, amount] : consumed) network.release(v, amount);
+      for (auto it = touched.rbegin(); it != touched.rend(); ++it) {
+        network.set_residual(it->first, it->second);
+      }
       return std::nullopt;
     }
     const graph::NodeId chosen = feasible[rng.index(feasible.size())];
+    touched.emplace_back(chosen, network.residual(chosen));
     network.consume(chosen, demand);
-    consumed.emplace_back(chosen, demand);
     placement.cloudlet_of.push_back(chosen);
   }
   return placement;
@@ -148,9 +153,13 @@ std::optional<PrimaryPlacement> dag_admission(
     mec::MecNetwork& network, const mec::VnfCatalog& catalog,
     const mec::SfcRequest& request, const DagAdmissionOptions& options) {
   PrimaryPlacement placement;
-  std::vector<std::pair<graph::NodeId, double>> consumed;
+  // (node, pre-consume residual), newest restored first: exact rollback,
+  // see random_admission_within.
+  std::vector<std::pair<graph::NodeId, double>> touched;
   auto rollback = [&] {
-    for (auto& [v, amount] : consumed) network.release(v, amount);
+    for (auto it = touched.rbegin(); it != touched.rend(); ++it) {
+      network.set_residual(it->first, it->second);
+    }
   };
 
   std::size_t pos = 0;
@@ -175,8 +184,8 @@ std::optional<PrimaryPlacement> dag_admission(
         replanned = true;
         break;
       }
+      touched.emplace_back(v, network.residual(v));
       network.consume(v, fn.cpu_demand);
-      consumed.emplace_back(v, fn.cpu_demand);
       placement.cloudlet_of.push_back(v);
       ++pos;
     }

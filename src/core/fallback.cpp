@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/faultpoint.h"
 #include "util/timer.h"
 
 namespace mecra::core {
@@ -41,7 +42,7 @@ FallbackAugmenter::FallbackAugmenter(std::vector<FallbackTier> tiers,
   for (const FallbackTier& tier : tiers_) {
     MECRA_CHECK_MSG(static_cast<bool>(tier.algorithm),
                     "fallback tier has no algorithm");
-    tier_stats_.push_back(FallbackTierStats{tier.name, 0, 0, 0, 0, 0});
+    tier_stats_.push_back(FallbackTierStats{tier.name, 0, 0, 0, 0, 0, 0});
   }
 }
 
@@ -111,7 +112,18 @@ AugmentationResult FallbackAugmenter::augment(const BmcgapInstance& instance,
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
     const bool last = i + 1 == tiers_.size();
     const double elapsed = timer.elapsed_seconds();
-    if (deadline_active && elapsed >= options_.deadline_seconds) {
+    // The fault point lets tests drive the timeout path deterministically
+    // (real expiry depends on wall-clock time).
+    bool expired = deadline_active && elapsed >= options_.deadline_seconds;
+    if (!expired && MECRA_FAULT_POINT("fallback.deadline")) {
+      if (obs::enabled()) {
+        static obs::Counter& injected =
+            obs::MetricsRegistry::global().counter("fault.injected");
+        injected.add(1);
+      }
+      expired = true;
+    }
+    if (expired) {
       if (have_best) {
         // Deadline blown but a usable (if sub-expectation) plan exists:
         // degrade to it instead of burning more time.
@@ -132,8 +144,24 @@ AugmentationResult FallbackAugmenter::augment(const BmcgapInstance& instance,
         deadline_active ? options_.deadline_seconds - elapsed : kInf;
     ++tier_stats_[i].attempts;
     record_tier(tiers_[i].name, "attempts");
-    AugmentationResult result = tiers_[i].algorithm(instance, options,
-                                                    remaining);
+    AugmentationResult result;
+    try {
+      if (MECRA_FAULT_POINT("fallback.tier_error")) {
+        if (obs::enabled()) {
+          static obs::Counter& injected =
+              obs::MetricsRegistry::global().counter("fault.injected");
+          injected.add(1);
+        }
+        throw util::InjectedFault("fallback.tier_error");
+      }
+      result = tiers_[i].algorithm(instance, options, remaining);
+    } catch (...) {
+      // A throwing tier (solver bug, injected fault) must not kill the
+      // augment call while cheaper tiers remain; fall through the chain.
+      ++tier_stats_[i].errors;
+      record_tier(tiers_[i].name, "errors");
+      continue;
+    }
     const ValidationReport report = validate(instance, result);
     if (!report.feasible) {
       ++tier_stats_[i].infeasible;
@@ -178,7 +206,7 @@ AugmentationResult FallbackAugmenter::augment(const BmcgapInstance& instance,
 
 void FallbackAugmenter::reset_stats() {
   for (FallbackTierStats& s : tier_stats_) {
-    s.attempts = s.served = s.timeouts = s.infeasible = s.unmet = 0;
+    s.attempts = s.served = s.timeouts = s.infeasible = s.unmet = s.errors = 0;
   }
   calls_ = 0;
   best_effort_calls_ = 0;

@@ -51,6 +51,7 @@ struct FallbackTierStats {
   std::size_t timeouts = 0;    // tier skipped because the deadline expired
   std::size_t infeasible = 0;  // result violated capacity; rejected
   std::size_t unmet = 0;       // feasible but below the expectation
+  std::size_t errors = 0;      // tier threw; caught, chain fell through
 };
 
 struct FallbackOptions {

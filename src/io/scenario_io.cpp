@@ -115,9 +115,14 @@ mec::MecNetwork network_from_json(const Json& json) {
   }
   mec::MecNetwork network(std::move(topology), std::move(capacity));
   for (graph::NodeId v = 0; v < network.num_nodes(); ++v) {
-    const double used = network.capacity(v) - residual[v];
-    MECRA_CHECK_MSG(used >= -1e-9, "residual exceeds capacity in archive");
-    if (used > 0.0) network.consume(v, used, /*allow_violation=*/true);
+    MECRA_CHECK_MSG(residual[v] <= network.capacity(v) + 1e-9,
+                    "residual exceeds capacity in archive");
+    // Installed verbatim, not via consume(capacity - residual): journal
+    // snapshot recovery needs the archived bits back exactly, and the
+    // subtract-then-consume round trip can drift by an ulp.
+    if (residual[v] != network.capacity(v)) {
+      network.set_residual(v, residual[v]);
+    }
   }
   return network;
 }

@@ -1,6 +1,7 @@
 #include "mec/network.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "graph/algorithms.h"
 
@@ -40,6 +41,14 @@ void MecNetwork::release(graph::NodeId v, double amount) {
   residual_[v] += amount;
   MECRA_CHECK_MSG(residual_[v] <= capacity_[v] + 1e-6,
                   "release would exceed the cloudlet capacity");
+}
+
+void MecNetwork::set_residual(graph::NodeId v, double value) {
+  MECRA_CHECK(v < num_nodes());
+  MECRA_CHECK_MSG(std::isfinite(value), "residual must be finite");
+  MECRA_CHECK_MSG(value <= capacity_[v] + 1e-6,
+                  "residual would exceed the cloudlet capacity");
+  residual_[v] = value;
 }
 
 void MecNetwork::set_residual_fraction(double fraction) {

@@ -55,6 +55,13 @@ class MecNetwork {
   void consume(graph::NodeId v, double amount, bool allow_violation = false);
   /// Returns capacity (inverse of consume).
   void release(graph::NodeId v, double amount);
+  /// Overwrites v's residual with a previously captured value — the EXACT
+  /// rollback/restore primitive. `release(v, x)` after `consume(v, x)` is
+  /// not bit-exact in floating point ((r - x) + x may differ from r by an
+  /// ulp), and crash recovery (orchestrator/journal.h) must reproduce a
+  /// run's residual history bit for bit, so failed placement attempts and
+  /// journal replay install captured values instead of re-doing arithmetic.
+  void set_residual(graph::NodeId v, double value);
 
   /// Scales every cloudlet's residual to `fraction` of its capacity — the
   /// paper's "residual computing capacity" experiment knob (Fig. 3).

@@ -1,10 +1,12 @@
 #include "orchestrator/controller.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/faultpoint.h"
 
 namespace mecra::orchestrator {
 
@@ -39,11 +41,17 @@ void record_reconcile(const ControllerMetrics& before,
 
 Controller::Controller(Orchestrator& orch, ControllerOptions options)
     : orch_(orch), options_(options), next_batch_(options.period) {
-  MECRA_CHECK(options_.period > 0.0);
-  MECRA_CHECK(options_.backoff_initial > 0.0);
-  MECRA_CHECK(options_.backoff_factor >= 1.0);
-  MECRA_CHECK(options_.backoff_max >= options_.backoff_initial);
-  MECRA_CHECK(options_.mttr >= 0.0);
+  // Every knob must be finite: an Inf/NaN factor or cap would poison the
+  // backoff arithmetic (gates at +inf never fire) and the saturation test
+  // in attempt() divides by backoff_factor.
+  MECRA_CHECK(std::isfinite(options_.period) && options_.period > 0.0);
+  MECRA_CHECK(std::isfinite(options_.backoff_initial) &&
+              options_.backoff_initial > 0.0);
+  MECRA_CHECK(std::isfinite(options_.backoff_factor) &&
+              options_.backoff_factor >= 1.0);
+  MECRA_CHECK(std::isfinite(options_.backoff_max) &&
+              options_.backoff_max >= options_.backoff_initial);
+  MECRA_CHECK(std::isfinite(options_.mttr) && options_.mttr >= 0.0);
 }
 
 void Controller::on_admit(ServiceId id, double now) {
@@ -142,10 +150,16 @@ void Controller::attempt(ServiceId id, TrackedService& tracked, double now,
   }
   ++metrics.reaugment_failures;
   if (options_.policy == ReaugmentPolicy::kBackoff) {
-    tracked.backoff = tracked.backoff == 0.0
-                          ? options_.backoff_initial
-                          : std::min(options_.backoff_max,
-                                     tracked.backoff * options_.backoff_factor);
+    if (tracked.backoff == 0.0) {
+      tracked.backoff = options_.backoff_initial;
+    } else if (tracked.backoff >=
+               options_.backoff_max / options_.backoff_factor) {
+      // Saturate without computing the product: thousands of consecutive
+      // failures must land exactly on backoff_max, never overflow past it.
+      tracked.backoff = options_.backoff_max;
+    } else {
+      tracked.backoff *= options_.backoff_factor;
+    }
     tracked.not_before = now + tracked.backoff;
   }
 }
@@ -177,13 +191,36 @@ void Controller::sharded_pass(
   // below in fixed group order, so totals are thread-count-independent.
   std::vector<ControllerMetrics> local_metrics(active.size());
   std::vector<ReconcileReport> local_reports(active.size());
+  std::vector<std::vector<std::pair<ServiceId, TrackedService*>>>
+      local_faulted(active.size());
   auto run_group = [&](std::size_t k) {
     obs::TraceSpan span("shard.reconcile");
     span.attr("shard", static_cast<double>(active[k]));
     span.attr("services", static_cast<double>(groups[active[k]].size()));
-    for (const auto& [id, tracked] : groups[active[k]]) {
-      attempt(id, *tracked, now, local_reports[k], local_metrics[k],
-              /*deferred_ids=*/true);
+    const auto& group = groups[active[k]];
+    for (std::size_t n = 0; n < group.size(); ++n) {
+      if (MECRA_FAULT_POINT("controller.shard_worker")) {
+        // Degrade: drain the rest of this group's queue to a serial retry
+        // after the workers join, instead of aborting the reconcile.
+        if (obs::enabled()) {
+          static obs::Counter& injected =
+              obs::MetricsRegistry::global().counter("fault.injected");
+          injected.add(1);
+        }
+        local_faulted[k].insert(
+            local_faulted[k].end(),
+            group.begin() + static_cast<std::ptrdiff_t>(n), group.end());
+        break;
+      }
+      try {
+        attempt(group[n].first, *group[n].second, now, local_reports[k],
+                local_metrics[k], /*deferred_ids=*/true);
+      } catch (...) {
+        // A partially applied attempt may have staged standbys with pending
+        // ids; the service stays in `touched`, so the post-join numbering
+        // pass still covers it before the serial retry.
+        local_faulted[k].push_back(group[n]);
+      }
     }
   };
   util::ThreadPool* pool = orch_.batch_pool();
@@ -214,10 +251,50 @@ void Controller::sharded_pass(
     report.revived += local_reports[k].revived;
   }
 
+  // Serial retry of drained/faulted services, in fixed group order.
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    for (const auto& [id, tracked] : local_faulted[k]) {
+      ++report.degraded;
+      attempt(id, *tracked, now, report, metrics_, /*deferred_ids=*/false);
+    }
+  }
+  if (report.degraded > 0 && obs::enabled()) {
+    static obs::Counter& degraded_counter =
+        obs::MetricsRegistry::global().counter("reconcile.degraded");
+    degraded_counter.add(report.degraded);
+  }
+
   // kDown and shard-straddling services: classic serial path.
   for (const auto& [id, tracked] : serial) {
     attempt(id, *tracked, now, report, metrics_, /*deferred_ids=*/false);
   }
+}
+
+ControllerState Controller::state() const {
+  ControllerState state;
+  state.tracked.reserve(tracked_.size());
+  for (const auto& [id, tracked] : tracked_) {
+    state.tracked.push_back(
+        {id, tracked.dirty, tracked.not_before, tracked.backoff});
+  }
+  state.repair_queue.assign(repair_queue_.begin(), repair_queue_.end());
+  state.next_batch = next_batch_;
+  state.last_now = last_now_;
+  state.metrics = metrics_;
+  return state;
+}
+
+void Controller::restore(const ControllerState& state) {
+  tracked_.clear();
+  for (const auto& entry : state.tracked) {
+    tracked_[entry.service] =
+        TrackedService{entry.dirty, entry.not_before, entry.backoff};
+  }
+  repair_queue_.clear();
+  for (const auto& [due, v] : state.repair_queue) repair_queue_.emplace(due, v);
+  next_batch_ = state.next_batch;
+  last_now_ = state.last_now;
+  metrics_ = state.metrics;
 }
 
 ReconcileReport Controller::reconcile(double now) {

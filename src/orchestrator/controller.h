@@ -79,6 +79,26 @@ struct ReconcileReport {
   std::size_t attempts = 0;
   std::size_t standbys_added = 0;
   std::size_t revived = 0;
+  /// Services whose shard worker faulted and were retried serially.
+  std::size_t degraded = 0;
+};
+
+/// Snapshot of a Controller's mutable tracking state — serialized into
+/// journal snapshots (orchestrator/journal.h) and restored into a freshly
+/// constructed Controller during recovery. Options are not part of the
+/// state: recovery constructs the controller with the original options.
+struct ControllerState {
+  struct Entry {
+    ServiceId service = 0;
+    bool dirty = false;
+    double not_before = 0.0;
+    double backoff = 0.0;
+  };
+  std::vector<Entry> tracked;                            // ascending service id
+  std::vector<std::pair<double, graph::NodeId>> repair_queue;  // due-time order
+  double next_batch = 0.0;
+  double last_now = 0.0;
+  ControllerMetrics metrics;
 };
 
 class Controller {
@@ -114,6 +134,13 @@ class Controller {
   [[nodiscard]] const ControllerMetrics& metrics() const noexcept {
     return metrics_;
   }
+
+  // --- journal recovery support (orchestrator/journal.h) ---
+
+  /// Everything reconcile()/next_wakeup() depend on, in deterministic order.
+  [[nodiscard]] ControllerState state() const;
+  /// Replaces the tracking tables wholesale with a prior state() snapshot.
+  void restore(const ControllerState& state);
 
  private:
   struct TrackedService {

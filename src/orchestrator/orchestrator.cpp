@@ -12,6 +12,7 @@
 #include "graph/algorithms.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/faultpoint.h"
 
 namespace mecra::orchestrator {
 
@@ -181,6 +182,17 @@ void Orchestrator::admit_in_shard(const mec::SfcRequest& request,
                                   std::uint64_t batch_salt, std::size_t index,
                                   StagedAdmission& staged) {
   staged.shard = shard;
+  if (MECRA_FAULT_POINT("orchestrator.shard_worker")) {
+    // Injected before any capacity is touched; admit_batch drains the
+    // remaining requests of this shard to the serial fallback pass.
+    if (obs::enabled()) {
+      static obs::Counter& injected =
+          obs::MetricsRegistry::global().counter("fault.injected");
+      injected.add(1);
+    }
+    staged.faulted = true;
+    return;
+  }
   const auto& interior = shard_map_->interior_cloudlets(shard);
   if (interior.empty()) return;  // nothing confinable; fallback pass retries
   util::Rng rng(util::derive_seed(batch_salt, index));
@@ -188,41 +200,58 @@ void Orchestrator::admit_in_shard(const mec::SfcRequest& request,
                                                       request, interior, rng);
   if (!primaries.has_value()) return;  // fallback pass retries network-wide
 
-  Service svc;
-  svc.request = request;
-  for (std::uint32_t p = 0; p < request.length(); ++p) {
-    svc.instances.push_back(Instance{kPendingInstanceId, p,
-                                     primaries->cloudlet_of[p],
-                                     InstanceRole::kActive,
-                                     InstanceState::kRunning});
+  try {
+    Service svc;
+    svc.request = request;
+    for (std::uint32_t p = 0; p < request.length(); ++p) {
+      svc.instances.push_back(Instance{kPendingInstanceId, p,
+                                       primaries->cloudlet_of[p],
+                                       InstanceRole::kActive,
+                                       InstanceState::kRunning});
+    }
+    auto instance =
+        core::build_bmcgap(network_, catalog_, request, *primaries,
+                           {.l_hops = options_.l_hops}, *shard_map_);
+    auto algorithm =
+        options_.algorithm ? options_.algorithm : core::augment_heuristic;
+    auto result = algorithm(instance, options_.augment);
+    MECRA_CHECK_MSG(core::validate(instance, result).feasible,
+                    "orchestrator requires capacity-feasible augmentation");
+    core::apply_placements(network_, instance, result);
+    for (const auto& placement : result.placements) {
+      svc.instances.push_back(Instance{kPendingInstanceId,
+                                       placement.chain_pos,
+                                       placement.cloudlet,
+                                       InstanceRole::kStandby,
+                                       InstanceState::kRunning});
+    }
+    svc.state = ServiceState::kHealthy;
+    for (const Instance& inst : svc.instances) {
+      note_border_debit(inst.cloudlet,
+                        catalog_.function(request.chain[inst.chain_pos])
+                            .cpu_demand);
+    }
+    staged.svc = std::move(svc);
+    if (options_.batch.record_audit) {
+      staged.instance = std::move(instance);
+      staged.result = std::move(result);
+    }
+    staged.admitted = true;
+  } catch (...) {
+    // Shard-worker exception safety: return the primaries' capacity (the
+    // standbys are only consumed by apply_placements, which runs after
+    // validate and cannot come up short), flag the fault, and let the
+    // serial fallback pass retry the request on the driver thread. Border
+    // debits are only declared on success, so the consume/release pair
+    // nets to zero against the conservation audit.
+    for (std::uint32_t p = 0; p < request.length(); ++p) {
+      network_.release(primaries->cloudlet_of[p],
+                       catalog_.function(request.chain[p]).cpu_demand);
+    }
+    staged = StagedAdmission{};
+    staged.shard = shard;
+    staged.faulted = true;
   }
-  auto instance =
-      core::build_bmcgap(network_, catalog_, request, *primaries,
-                         {.l_hops = options_.l_hops}, *shard_map_);
-  auto algorithm =
-      options_.algorithm ? options_.algorithm : core::augment_heuristic;
-  auto result = algorithm(instance, options_.augment);
-  MECRA_CHECK_MSG(core::validate(instance, result).feasible,
-                  "orchestrator requires capacity-feasible augmentation");
-  core::apply_placements(network_, instance, result);
-  for (const auto& placement : result.placements) {
-    svc.instances.push_back(Instance{kPendingInstanceId, placement.chain_pos,
-                                     placement.cloudlet,
-                                     InstanceRole::kStandby,
-                                     InstanceState::kRunning});
-  }
-  svc.state = ServiceState::kHealthy;
-  for (const Instance& inst : svc.instances) {
-    note_border_debit(inst.cloudlet,
-                      catalog_.function(request.chain[inst.chain_pos])
-                          .cpu_demand);
-  }
-  staged.svc = std::move(svc);
-  if (options_.batch.record_audit) {
-    staged.instance = std::move(instance);
-    staged.result = std::move(result);
-  }
-  staged.admitted = true;
 }
 
 std::vector<std::optional<ServiceId>> Orchestrator::admit_batch(
@@ -261,13 +290,34 @@ std::vector<std::optional<ServiceId>> Orchestrator::admit_batch(
   }
 
   std::vector<StagedAdmission> staged(requests.size());
+  std::atomic<std::size_t> degraded{0};
   auto run_shard = [&](std::size_t k) {
     const std::size_t s = active_shards[k];
     obs::TraceSpan shard_span("shard.admit");
     shard_span.attr("shard", static_cast<double>(s));
     shard_span.attr("requests", static_cast<double>(groups[s].size()));
-    for (std::size_t i : groups[s]) {
-      admit_in_shard(requests[i], s, batch_salt, i, staged[i]);
+    for (std::size_t n = 0; n < groups[s].size(); ++n) {
+      const std::size_t i = groups[s][n];
+      try {
+        admit_in_shard(requests[i], s, batch_salt, i, staged[i]);
+      } catch (...) {
+        // admit_in_shard rolls back internally; this is a belt for faults
+        // injected outside its try scope. Never let an exception escape a
+        // worker unhandled.
+        staged[i] = StagedAdmission{};
+        staged[i].shard = s;
+        staged[i].faulted = true;
+      }
+      if (staged[i].faulted) {
+        // Degrade: drain the rest of this shard's queue to the serial
+        // fallback pass instead of aborting the whole batch.
+        for (std::size_t m = n; m < groups[s].size(); ++m) {
+          staged[groups[s][m]].shard = s;
+          staged[groups[s][m]].faulted = true;
+        }
+        degraded.fetch_add(groups[s].size() - n, std::memory_order_relaxed);
+        break;
+      }
     }
   };
   util::ThreadPool* pool = batch_pool();
@@ -275,6 +325,12 @@ std::vector<std::optional<ServiceId>> Orchestrator::admit_batch(
     pool->parallel_for(active_shards.size(), run_shard);
   } else {
     for (std::size_t k = 0; k < active_shards.size(); ++k) run_shard(k);
+  }
+  batch_audit_.degraded = degraded.load(std::memory_order_relaxed);
+  if (batch_audit_.degraded > 0 && obs::enabled()) {
+    static obs::Counter& degraded_counter =
+        obs::MetricsRegistry::global().counter("admit.degraded");
+    degraded_counter.add(batch_audit_.degraded);
   }
 
   // Border conservation audit: every border cloudlet's residual must have
@@ -670,6 +726,42 @@ void Orchestrator::teardown(ServiceId service_id) {
                          .cpu_demand);
   }
   services_.erase(service_id);
+}
+
+void Orchestrator::restore_service(Service svc, bool consume_capacity) {
+  MECRA_CHECK_MSG(!services_.contains(svc.id),
+                  "restore_service: duplicate service id");
+  for (const Instance& inst : svc.instances) {
+    MECRA_CHECK_MSG(inst.id != kPendingInstanceId,
+                    "restore_service: pending instance id in snapshot");
+    MECRA_CHECK_MSG(inst.chain_pos < svc.request.length(),
+                    "restore_service: chain position out of range");
+    MECRA_CHECK_MSG(network_.is_cloudlet(inst.cloudlet),
+                    "restore_service: instance not on a cloudlet");
+    if (consume_capacity) {
+      network_.consume(inst.cloudlet,
+                       catalog_.function(svc.request.chain[inst.chain_pos])
+                           .cpu_demand);
+    }
+    if (inst.id >= next_instance_) next_instance_ = inst.id + 1;
+  }
+  if (svc.id >= next_service_) next_service_ = svc.id + 1;
+  const ServiceId id = svc.id;
+  services_.emplace(id, std::move(svc));
+}
+
+void Orchestrator::restore_down_cloudlet(graph::NodeId v) {
+  MECRA_CHECK(v < network_.num_nodes());
+  down_cloudlets_.insert(v);
+}
+
+void Orchestrator::set_id_counters(ServiceId next_service,
+                                   InstanceId next_instance) {
+  MECRA_CHECK_MSG(next_service >= next_service_ &&
+                      next_instance >= next_instance_,
+                  "set_id_counters: counters may only move forward");
+  next_service_ = next_service;
+  next_instance_ = next_instance;
 }
 
 ServiceState Orchestrator::refresh_state(ServiceId service_id) {

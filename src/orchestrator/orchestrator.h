@@ -143,6 +143,9 @@ struct BatchAudit {
   std::size_t parallel_admitted = 0;
   std::size_t fallback_admitted = 0;
   std::size_t rejected = 0;
+  /// Requests routed to the serial fallback pass because their shard
+  /// worker faulted (graceful degradation; mirrored to `admit.degraded`).
+  std::size_t degraded = 0;
 };
 
 class Orchestrator {
@@ -259,6 +262,42 @@ class Orchestrator {
   /// Recomputes and returns the service state (also stored on the service).
   ServiceState refresh_state(ServiceId service);
 
+  // --- journal recovery support (orchestrator/journal.h; driver thread) ---
+
+  /// Next ids admit/reaugment will assign (journaled in snapshots).
+  [[nodiscard]] ServiceId next_service_id() const noexcept {
+    return next_service_;
+  }
+  [[nodiscard]] InstanceId next_instance_id() const noexcept {
+    return next_instance_;
+  }
+
+  /// Installs a fully-formed service verbatim. Journal recovery passes
+  /// false — snapshot restore and admit/batch effect replay both install
+  /// recorded residuals directly (bit-exact; see journal.h) — but callers
+  /// without a residual record can pass true to debit the instances'
+  /// slots arithmetically. Id counters are advanced past installed ids.
+  void restore_service(Service svc, bool consume_capacity);
+
+  /// Installs a journaled residual value verbatim (admit/batch effect
+  /// replay; exact regardless of the live run's consume order).
+  void restore_residual(graph::NodeId v, double value) {
+    network_.set_residual(v, value);
+  }
+
+  /// Marks v down without failing instances (snapshot restore; the
+  /// instance states arrive via restore_service).
+  void restore_down_cloudlet(graph::NodeId v);
+
+  /// Fast-forwards the id counters to a snapshot's values (they may exceed
+  /// every live id when services departed). Counters never move backwards.
+  void set_id_counters(ServiceId next_service, InstanceId next_instance);
+
+  /// Builds the shard map now if it does not exist yet — recovery of a
+  /// state whose original had one (candidate neighbourhoods, and therefore
+  /// reaugmentation placements, depend on its presence).
+  void ensure_shard_map() { (void)shard_map(); }
+
  private:
   /// Zeroes the residual of every down cloudlet for its lifetime so the
   /// admission/augmentation paths (which only see residual capacities)
@@ -284,6 +323,9 @@ class Orchestrator {
   struct StagedAdmission {
     bool admitted = false;
     bool via_fallback = false;
+    /// The shard worker faulted on (or before reaching) this request; it
+    /// is drained to the serial fallback pass (see admit_in_shard).
+    bool faulted = false;
     std::size_t shard = 0;
     Service svc;  // instance ids are kPendingInstanceId until commit
     core::BmcgapInstance instance;

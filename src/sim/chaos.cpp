@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 #include <queue>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "orchestrator/journal.h"
 #include "orchestrator/orchestrator.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -66,8 +68,26 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
   orch_options.algorithm = config.algorithm;
   orch_options.batch.threads = config.batch_threads;
   orch_options.batch.num_shards = config.batch_shards;
-  orchestrator::Orchestrator orch(base_network, catalog, orch_options);
-  orchestrator::Controller controller(orch, config.controller);
+  // unique_ptrs (not stack objects) so a crash-restart drill can destroy
+  // the pair mid-trace and swap in the journal-recovered instances.
+  auto orch = std::make_unique<orchestrator::Orchestrator>(
+      base_network, catalog, orch_options);
+  auto controller =
+      std::make_unique<orchestrator::Controller>(*orch, config.controller);
+
+  MECRA_CHECK_MSG(config.crash_times.empty() || !config.journal_path.empty(),
+                  "chaos crash_times require a journal_path");
+  MECRA_CHECK(std::is_sorted(config.crash_times.begin(),
+                             config.crash_times.end()));
+  std::unique_ptr<orchestrator::Journal> journal;
+  if (!config.journal_path.empty()) {
+    journal = std::make_unique<orchestrator::Journal>(config.journal_path);
+    journal->snapshot(*orch, *controller, 0.0);
+  }
+  double next_snapshot = journal != nullptr && config.snapshot_period > 0.0
+                             ? config.snapshot_period
+                             : kInf;
+  std::size_t next_crash = 0;
 
   util::Rng arrival_rng = util::Rng(seed).child(kArrivalStream);
   util::Rng request_rng = util::Rng(seed).child(kRequestStream);
@@ -94,7 +114,7 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
       acct.last_observed = t;
       if (dt <= 0.0) continue;
       acct.held += dt;
-      const orchestrator::Service& svc = orch.service(id);
+      const orchestrator::Service& svc = orch->service(id);
       switch (svc.state) {
         case orchestrator::ServiceState::kDown:
           acct.down += dt;
@@ -116,7 +136,7 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
   auto note_transitions = [&](double now) {
     for (auto& [id, acct] : tracked) {
       const bool down =
-          orch.service(id).state == orchestrator::ServiceState::kDown;
+          orch->service(id).state == orchestrator::ServiceState::kDown;
       if (down && !acct.is_down) {
         acct.is_down = true;
         acct.down_since = now;
@@ -129,19 +149,26 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
     }
   };
 
-  auto finish_service = [&](orchestrator::ServiceId id) {
+  // WAL discipline: the teardown record lands before the state change.
+  auto finish_service = [&](orchestrator::ServiceId id, double now) {
     const Tracked& acct = tracked.at(id);
     m.total_held_time += acct.held;
     m.slo_time += acct.slo;
     m.degraded_time += acct.degraded;
     m.down_time += acct.down;
-    orch.teardown(id);
-    controller.on_teardown(id);
+    if (journal != nullptr) journal->teardown(id, now);
+    orch->teardown(id);
+    controller->on_teardown(id);
     tracked.erase(id);
   };
 
   auto reconcile = [&](double now) {
-    const orchestrator::ReconcileReport rec = controller.reconcile(now);
+    // Even a no-work reconcile advances the controller's last_now (which
+    // gates next_wakeup), so every call is journaled, not just fruitful
+    // ones. Replay re-invokes reconcile(now): repairs, greedy top-ups, and
+    // revivals are deterministic functions of the recovered state.
+    if (journal != nullptr) journal->reconcile_mark(now);
+    const orchestrator::ReconcileReport rec = controller->reconcile(now);
     for (graph::NodeId v : rec.repaired) {
       record(now, ChaosEventKind::kRepair, v);
     }
@@ -152,6 +179,10 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
       record(now, ChaosEventKind::kRevive, rec.revived);
     }
     note_transitions(now);
+    if (now >= next_snapshot) {
+      journal->snapshot(*orch, *controller, now);
+      while (next_snapshot <= now) next_snapshot += config.snapshot_period;
+    }
   };
 
   // Arrival pooling (max_batch_arrivals > 1): consecutive arrivals stack
@@ -166,7 +197,17 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
   auto flush_pool = [&] {
     if (pool.empty()) return;
     const double t = pool_time;
-    const auto ids = orch.admit_batch(pool, batch_rng);
+    const auto ids = orch->admit_batch(pool, batch_rng);
+    if (journal != nullptr) {
+      // Effect record: admission is not assumed deterministic, so the
+      // batch's committed services — ids included — go to the journal
+      // before the controller or departures see them.
+      std::vector<const orchestrator::Service*> admitted;
+      for (const auto& id : ids) {
+        if (id.has_value()) admitted.push_back(&orch->service(*id));
+      }
+      journal->batch_commit(*orch, admitted, t);
+    }
     for (std::size_t i = 0; i < pool.size(); ++i) {
       if (!ids[i].has_value()) {
         ++m.blocked;
@@ -176,7 +217,7 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
       ++m.admitted;
       record(t, ChaosEventKind::kAdmit, *ids[i]);
       tracked[*ids[i]].last_observed = t;
-      controller.on_admit(*ids[i], t);
+      controller->on_admit(*ids[i], t);
       departures.push(Departure{
           t + holding_rng.exponential(config.mean_holding_time), *ids[i]});
     }
@@ -198,7 +239,7 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
   for (;;) {
     // Merged stream with a FIXED tie-break order (wakeup, departure,
     // arrival, instance failure, outage) so the trace is deterministic.
-    const double wake = controller.next_wakeup();
+    const double wake = controller->next_wakeup();
     const double departure =
         departures.empty() ? kInf : departures.top().time;
     double now = std::min({wake, departure, next_arrival, next_ifail,
@@ -214,6 +255,29 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
         continue;
       }
     }
+    if (pool.empty() && next_crash < config.crash_times.size() &&
+        config.crash_times[next_crash] <= std::min(now, config.horizon)) {
+      // Crash-restart drill: tear the orchestrator + controller down and
+      // rebuild them from the journal, exactly as a restarted process
+      // would. Only fires between events with an empty pool, so batching
+      // decisions (and therefore the trace) match an uninterrupted run.
+      ++next_crash;
+      ++m.crash_restarts;
+      controller.reset();
+      orch.reset();
+      journal.reset();  // closes the file handle before recovery reads it
+      orchestrator::RecoverOptions recover_options;
+      recover_options.orchestrator = orch_options;
+      recover_options.controller = config.controller;
+      auto recovered =
+          orchestrator::recover(config.journal_path, recover_options);
+      orch = std::move(recovered.orch);
+      controller = std::move(recovered.controller);
+      m.replayed_events += recovered.replayed_events;
+      journal = std::make_unique<orchestrator::Journal>(
+          config.journal_path, orchestrator::Journal::Mode::kContinue);
+      continue;  // re-derive the merged stream from the recovered pair
+    }
     if (now >= config.horizon) break;
 
     observe(now);
@@ -227,7 +291,7 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
       const orchestrator::ServiceId id = departures.top().service;
       departures.pop();
       record(now, ChaosEventKind::kDeparture, id);
-      finish_service(id);
+      finish_service(id, now);
       ++m.departed;
       reconcile(now);
       continue;
@@ -238,22 +302,27 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
       mec::RequestParams rp = config.request;
       rp.expectation = config.expectation;
       const auto request = mec::random_request(
-          request_id++, catalog, orch.network().num_nodes(), rp, request_rng);
+          request_id++, catalog, orch->network().num_nodes(), rp, request_rng);
       if (pooling) {
         pool.push_back(request);
         pool_time = now;
         if (pool.size() >= config.max_batch_arrivals) flush_pool();
         continue;
       }
-      const auto admitted = orch.admit(request, request_rng);
+      const auto admitted = orch->admit(request, request_rng);
       if (!admitted.has_value()) {
         ++m.blocked;
         record(now, ChaosEventKind::kBlock, request.id);
       } else {
+        // Effect record before the admission becomes visible (see
+        // flush_pool for the rationale).
+        if (journal != nullptr) {
+          journal->admit(*orch, orch->service(*admitted), now);
+        }
         ++m.admitted;
         record(now, ChaosEventKind::kAdmit, *admitted);
         tracked[*admitted].last_observed = now;
-        controller.on_admit(*admitted, now);
+        controller->on_admit(*admitted, now);
         departures.push(Departure{
             now + holding_rng.exponential(config.mean_holding_time),
             *admitted});
@@ -268,8 +337,8 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
       // instance id) order. No running instance -> the failure is a no-op.
       std::vector<std::pair<orchestrator::ServiceId, orchestrator::InstanceId>>
           running;
-      for (const orchestrator::ServiceId id : orch.services()) {
-        for (const orchestrator::Instance& inst : orch.service(id).instances) {
+      for (const orchestrator::ServiceId id : orch->services()) {
+        for (const orchestrator::Instance& inst : orch->service(id).instances) {
           if (inst.state == orchestrator::InstanceState::kRunning) {
             running.emplace_back(id, inst.id);
           }
@@ -277,10 +346,15 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
       }
       if (!running.empty()) {
         const auto [svc_id, inst_id] = running[ifail_rng.index(running.size())];
-        (void)orch.fail_instance(svc_id, inst_id);
+        if (journal != nullptr) {
+          // Thin re-invocation record: promotion is deterministic, so the
+          // replay re-runs fail_instance instead of storing its effect.
+          journal->instance_failure(svc_id, inst_id, now);
+        }
+        (void)orch->fail_instance(svc_id, inst_id);
         ++m.instance_failures;
         record(now, ChaosEventKind::kInstanceFailure, inst_id);
-        controller.on_instance_failed(svc_id, now);
+        controller->on_instance_failed(svc_id, now);
         note_transitions(now);
       }
       reconcile(now);
@@ -290,15 +364,16 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
     next_outage =
         now + outage_rng.exponential(1.0 / config.cloudlet_outage_rate);
     std::vector<graph::NodeId> up;
-    for (const graph::NodeId v : orch.network().cloudlets()) {
-      if (!orch.is_cloudlet_down(v)) up.push_back(v);
+    for (const graph::NodeId v : orch->network().cloudlets()) {
+      if (!orch->is_cloudlet_down(v)) up.push_back(v);
     }
     if (!up.empty()) {
       const graph::NodeId victim = up[outage_rng.index(up.size())];
-      orch.fail_cloudlet(victim);
+      if (journal != nullptr) journal->cloudlet_outage(victim, now);
+      orch->fail_cloudlet(victim);
       ++m.cloudlet_outages;
       record(now, ChaosEventKind::kCloudletOutage, victim);
-      controller.on_cloudlet_failed(victim, now);
+      controller->on_cloudlet_failed(victim, now);
       note_transitions(now);
     }
     reconcile(now);
@@ -306,14 +381,22 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
 
   // Horizon: fold every live service and drain the network.
   observe(config.horizon);
-  const std::vector<orchestrator::ServiceId> live = orch.services();
-  for (const orchestrator::ServiceId id : live) finish_service(id);
+  const std::vector<orchestrator::ServiceId> live = orch->services();
+  for (const orchestrator::ServiceId id : live) {
+    finish_service(id, config.horizon);
+  }
   // Repair outstanding outages so their held (failed-instance) slots are
   // reclaimed and conservation is checkable against the pristine network.
-  for (const graph::NodeId v : orch.down_cloudlets()) orch.repair_cloudlet(v);
-  m.final_total_residual = orch.network().total_residual();
+  for (const graph::NodeId v : orch->down_cloudlets()) {
+    if (journal != nullptr) journal->repair(v, config.horizon);
+    orch->repair_cloudlet(v);
+  }
+  m.final_total_residual = orch->network().total_residual();
+  if (journal != nullptr) {
+    m.journal_records = static_cast<std::size_t>(journal->next_seq());
+  }
 
-  const orchestrator::ControllerMetrics& cm = controller.metrics();
+  const orchestrator::ControllerMetrics& cm = controller->metrics();
   m.repairs = cm.repairs;
   m.reaugment_attempts = cm.reaugment_attempts;
   m.reaugment_successes = cm.reaugment_successes;

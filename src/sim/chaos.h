@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/augmentation.h"
@@ -94,6 +95,23 @@ struct ChaosConfig {
   /// count (asserted in tests).
   std::size_t batch_threads = 1;
   std::size_t batch_shards = 0;
+  /// Write-ahead event journal (orchestrator/journal.h); empty disables.
+  /// With a path set, the run writes an initial snapshot at t = 0,
+  /// journals every state-changing event BEFORE its effects become
+  /// visible to the controller/driver, and adds a fresh snapshot at every
+  /// `snapshot_period` of simulated time (0 = initial snapshot only).
+  std::string journal_path;
+  double snapshot_period = 0.0;
+  /// Crash-restart drill (requires journal_path): at each listed simulated
+  /// time — ascending — the orchestrator + controller are destroyed and
+  /// recovered from the journal before the next event is processed. The
+  /// driver state (RNG streams, departure queue, accounting) survives, so
+  /// recovery being bit-identical makes the REMAINDER of the trace
+  /// bit-identical to an uninterrupted run (asserted in
+  /// tests/recovery_test.cpp). A crash never interrupts a non-empty
+  /// arrival pool: it fires right after the pool's natural flush, keeping
+  /// batching decisions unchanged.
+  std::vector<double> crash_times;
 };
 
 struct ChaosMetrics {
@@ -133,6 +151,14 @@ struct ChaosMetrics {
   /// Residual after draining every live service at the horizon; equals the
   /// pristine total residual when capacity accounting is conserved.
   double final_total_residual = 0.0;
+
+  // Crash-consistency accounting (0 unless ChaosConfig::journal_path).
+  std::size_t crash_restarts = 0;
+  /// Records appended to the journal over the whole run (snapshots
+  /// included; the sequence continues across restarts).
+  std::size_t journal_records = 0;
+  /// Events replayed from the journal, summed over every recovery.
+  std::size_t replayed_events = 0;
 };
 
 struct ChaosReport {

@@ -1,0 +1,136 @@
+#include "util/faultpoint.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace mecra::util {
+
+FaultRegistry& FaultRegistry::global() {
+  static FaultRegistry registry;
+  return registry;
+}
+
+void FaultRegistry::arm(const std::string& site, FaultSpec spec) {
+  MECRA_CHECK_MSG(!site.empty(), "fault site name must be non-empty");
+  MECRA_CHECK(spec.probability >= 0.0 && spec.probability <= 1.0);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[site];
+  if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  s.spec = spec;
+  s.armed = true;
+  s.hits = 0;
+  s.fires = 0;
+}
+
+void FaultRegistry::disarm(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+  total_fired_.store(0, std::memory_order_relaxed);
+}
+
+void FaultRegistry::reseed(std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rng_ = Rng(seed);
+}
+
+void FaultRegistry::arm_from_spec(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    FaultSpec fs;
+    std::size_t colon = entry.find(':');
+    const std::string site = entry.substr(0, colon);
+    while (colon != std::string::npos) {
+      const std::size_t start = colon + 1;
+      colon = entry.find(':', start);
+      const std::string field =
+          entry.substr(start, colon == std::string::npos ? std::string::npos
+                                                         : colon - start);
+      const std::size_t eq = field.find('=');
+      MECRA_CHECK_MSG(eq != std::string::npos,
+                      "MECRA_FAULTS field must look like key=value");
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "skip") {
+        fs.skip = static_cast<std::uint64_t>(std::stoull(value));
+      } else if (key == "times") {
+        fs.times = static_cast<std::uint64_t>(std::stoull(value));
+      } else if (key == "prob") {
+        fs.probability = std::stod(value);
+      } else {
+        MECRA_CHECK_MSG(false, "unknown MECRA_FAULTS field: " + key);
+      }
+    }
+    arm(site, fs);
+  }
+}
+
+void FaultRegistry::arm_from_env() {
+  const char* env = std::getenv("MECRA_FAULTS");
+  if (env != nullptr && *env != '\0') arm_from_spec(env);
+}
+
+bool FaultRegistry::should_fire(std::string_view site) {
+  // Fast path: nothing armed anywhere — one relaxed load, no lock. The
+  // one-time env check keeps the fast path valid for processes that never
+  // set MECRA_FAULTS.
+  if (armed_count_.load(std::memory_order_relaxed) == 0) {
+    bool expected = false;
+    if (!env_checked_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+      return false;
+    }
+    arm_from_env();
+    if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return false;
+  Site& s = it->second;
+  ++s.hits;
+  if (s.hits <= s.spec.skip) return false;
+  if (s.fires >= s.spec.times) return false;
+  if (s.spec.probability < 1.0 && !rng_.bernoulli(s.spec.probability)) {
+    return false;
+  }
+  ++s.fires;
+  total_fired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FaultRegistry::hits(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultRegistry::fired(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t FaultRegistry::total_fired() const {
+  return total_fired_.load(std::memory_order_relaxed);
+}
+
+bool fault_fire(std::string_view site) {
+  return FaultRegistry::global().should_fire(site);
+}
+
+}  // namespace mecra::util

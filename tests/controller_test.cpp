@@ -3,10 +3,12 @@
 // services through reconcile().
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 #include "graph/topology.h"
 #include "orchestrator/controller.h"
+#include "util/check.h"
 
 namespace mecra::orchestrator {
 namespace {
@@ -219,6 +221,64 @@ TEST(Controller, TeardownStopsTracking) {
   controller.on_teardown(*id);
   const auto report = controller.reconcile(1.0);
   EXPECT_EQ(report.attempts, 0u);  // no tracked service left
+}
+
+TEST(Controller, BackoffSaturatesExactlyAfterAThousandFailures) {
+  // A hopeless service (primaries fill the only cloudlet; 0.72 < 0.99 and
+  // no capacity for standbys) fails every attempt forever. The gate must
+  // land EXACTLY on backoff_max and stay there — a naive
+  // `backoff *= factor` loop drifts past the cap or overflows to Inf,
+  // which poisons not_before and next_wakeup.
+  World w;
+  w.network = mec::MecNetwork(graph::path_graph(3), {0.0, 700.0, 0.0});
+  Orchestrator orch(w.network, w.catalog, {});
+  ControllerOptions options;
+  options.policy = ReaugmentPolicy::kBackoff;
+  options.backoff_initial = 1.0;
+  options.backoff_factor = 3.0;
+  options.backoff_max = 1.0e6;
+  Controller controller(orch, options);
+  util::Rng rng(13);
+  const auto id = orch.admit(w.request, rng);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_DOUBLE_EQ(orch.network().residual(1), 0.0);
+  controller.on_admit(*id, 0.0);
+  controller.on_instance_failed(*id, 0.0);
+
+  double now = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto report = controller.reconcile(now);
+    ASSERT_EQ(report.attempts, 1u) << "iteration " << i;
+    const double wake = controller.next_wakeup();
+    ASSERT_TRUE(std::isfinite(wake)) << "iteration " << i;
+    ASSERT_GT(wake, now) << "iteration " << i;
+    now = wake;
+  }
+  EXPECT_EQ(controller.metrics().reaugment_failures, 1000u);
+
+  const ControllerState state = controller.state();
+  ASSERT_EQ(state.tracked.size(), 1u);
+  EXPECT_EQ(state.tracked[0].backoff, options.backoff_max);  // exact
+  EXPECT_TRUE(std::isfinite(state.tracked[0].not_before));
+}
+
+TEST(Controller, NonFiniteTimingOptionsAreRejected) {
+  World w;
+  Orchestrator orch(w.network, w.catalog, {});
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ControllerOptions bad;
+  bad.backoff_max = inf;
+  EXPECT_THROW(Controller(orch, bad), util::CheckFailure);
+  bad = {};
+  bad.period = nan;
+  EXPECT_THROW(Controller(orch, bad), util::CheckFailure);
+  bad = {};
+  bad.mttr = inf;
+  EXPECT_THROW(Controller(orch, bad), util::CheckFailure);
+  bad = {};
+  bad.backoff_factor = nan;
+  EXPECT_THROW(Controller(orch, bad), util::CheckFailure);
 }
 
 }  // namespace

@@ -1,0 +1,379 @@
+// Tests for the write-ahead event journal (orchestrator/journal.h): frame
+// checksums, scan/replay round-trips through io::Json, bit-identical
+// recovery of orchestrator + controller state, torn-tail tolerance,
+// loud mid-file corruption errors, and the journal.torn_write fault.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "graph/topology.h"
+#include "orchestrator/journal.h"
+#include "util/check.h"
+#include "util/faultpoint.h"
+
+namespace mecra::orchestrator {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Path 0-1-2 with generous cloudlets at 1 and 2; one two-function chain.
+struct World {
+  mec::MecNetwork network{graph::path_graph(3), {0.0, 3000.0, 3000.0}};
+  mec::VnfCatalog catalog{{{0, "a", 0.8, 300.0}, {0, "b", 0.9, 400.0}}};
+  mec::SfcRequest request;
+
+  World() {
+    request.chain = {0, 1};
+    request.expectation = 0.99;
+  }
+};
+
+/// Flat comparable view of everything restore_service/recover must get
+/// right: the whole service table, residuals, down set, and id counters.
+struct OrchSnap {
+  std::vector<std::tuple<ServiceId, std::uint64_t, std::uint32_t,
+                         graph::NodeId, int, int>>
+      instances;
+  std::vector<double> residuals;
+  std::vector<graph::NodeId> down;
+  ServiceId next_service = 0;
+  InstanceId next_instance = 0;
+  bool has_shard_map = false;
+
+  friend bool operator==(const OrchSnap&, const OrchSnap&) = default;
+};
+
+OrchSnap snap_of(const Orchestrator& orch) {
+  OrchSnap snap;
+  for (const ServiceId id : orch.services()) {
+    for (const Instance& inst : orch.service(id).instances) {
+      snap.instances.emplace_back(id, inst.id, inst.chain_pos, inst.cloudlet,
+                                  static_cast<int>(inst.role),
+                                  static_cast<int>(inst.state));
+    }
+  }
+  for (graph::NodeId v = 0; v < orch.network().num_nodes(); ++v) {
+    snap.residuals.push_back(orch.network().residual(v));
+  }
+  snap.down = orch.down_cloudlets();
+  snap.next_service = orch.next_service_id();
+  snap.next_instance = orch.next_instance_id();
+  snap.has_shard_map = orch.has_shard_map();
+  return snap;
+}
+
+void expect_controller_state_eq(const ControllerState& a,
+                                const ControllerState& b) {
+  ASSERT_EQ(a.tracked.size(), b.tracked.size());
+  for (std::size_t i = 0; i < a.tracked.size(); ++i) {
+    EXPECT_EQ(a.tracked[i].service, b.tracked[i].service);
+    EXPECT_EQ(a.tracked[i].dirty, b.tracked[i].dirty);
+    EXPECT_EQ(a.tracked[i].not_before, b.tracked[i].not_before);
+    EXPECT_EQ(a.tracked[i].backoff, b.tracked[i].backoff);
+  }
+  EXPECT_EQ(a.repair_queue, b.repair_queue);
+  EXPECT_EQ(a.next_batch, b.next_batch);
+  EXPECT_EQ(a.last_now, b.last_now);
+  EXPECT_EQ(a.metrics.repairs, b.metrics.repairs);
+  EXPECT_EQ(a.metrics.reaugment_attempts, b.metrics.reaugment_attempts);
+  EXPECT_EQ(a.metrics.reaugment_successes, b.metrics.reaugment_successes);
+  EXPECT_EQ(a.metrics.reaugment_failures, b.metrics.reaugment_failures);
+  EXPECT_EQ(a.metrics.standbys_added, b.metrics.standbys_added);
+  EXPECT_EQ(a.metrics.revivals, b.metrics.revivals);
+}
+
+/// First running standby instance of the service (there is one: the tests
+/// use expectation 0.99 on a roomy network).
+InstanceId a_standby_of(const Orchestrator& orch, ServiceId id) {
+  for (const Instance& inst : orch.service(id).instances) {
+    if (inst.role == InstanceRole::kStandby &&
+        inst.state == InstanceState::kRunning) {
+      return inst.id;
+    }
+  }
+  ADD_FAILURE() << "no running standby";
+  return 0;
+}
+
+TEST(JournalFraming, Crc32MatchesTheIeeeCheckVector) {
+  EXPECT_EQ(journal_crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(journal_crc32(""), 0u);
+}
+
+TEST(JournalFraming, AppendScanRoundTripsThroughJsonParse) {
+  const std::string path = temp_path("roundtrip.journal");
+  {
+    Journal journal(path);
+    io::JsonObject data;
+    data.set("cloudlet", io::Json(7));
+    EXPECT_EQ(journal.append("repair", 1.5, io::Json(std::move(data))), 0u);
+    EXPECT_EQ(journal.reconcile_mark(2.25), 1u);
+    EXPECT_EQ(journal.next_seq(), 2u);
+  }
+  const JournalScan scan = scan_journal(path);
+  EXPECT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].seq, 0u);
+  EXPECT_EQ(scan.records[0].kind, "repair");
+  EXPECT_EQ(scan.records[0].time, 1.5);
+  EXPECT_EQ(scan.records[0].data().as_object().at("cloudlet").as_int(), 7);
+  EXPECT_EQ(scan.records[1].seq, 1u);
+  EXPECT_EQ(scan.records[1].kind, "reconcile");
+  EXPECT_EQ(scan.records[1].time, 2.25);
+  EXPECT_EQ(scan.bytes_used, std::filesystem::file_size(path));
+}
+
+TEST(JournalFraming, MissingAndEmptyFilesScanToZeroRecords) {
+  const JournalScan missing = scan_journal(temp_path("no_such.journal"));
+  EXPECT_TRUE(missing.records.empty());
+  EXPECT_FALSE(missing.torn_tail);
+
+  const std::string path = temp_path("empty.journal");
+  std::ofstream(path, std::ios::binary | std::ios::trunc).close();
+  const JournalScan empty = scan_journal(path);
+  EXPECT_TRUE(empty.records.empty());
+  EXPECT_FALSE(empty.torn_tail);
+  // recover() is the layer that demands at least a snapshot.
+  EXPECT_THROW((void)recover(path, {}), util::CheckFailure);
+}
+
+TEST(JournalFraming, TornTailIsDroppedNotFatal) {
+  const std::string path = temp_path("torn.journal");
+  {
+    Journal journal(path);
+    journal.reconcile_mark(1.0);
+    journal.reconcile_mark(2.0);
+  }
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 3);
+
+  const JournalScan scan = scan_journal(path);
+  EXPECT_TRUE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].time, 1.0);
+
+  // kContinue truncates the tear and resumes the sequence chain.
+  Journal resumed(path, Journal::Mode::kContinue);
+  EXPECT_EQ(resumed.next_seq(), 1u);
+  EXPECT_EQ(resumed.reconcile_mark(3.0), 1u);
+  const JournalScan rescanned = scan_journal(path);
+  EXPECT_FALSE(rescanned.torn_tail);
+  ASSERT_EQ(rescanned.records.size(), 2u);
+  EXPECT_EQ(rescanned.records[1].time, 3.0);
+}
+
+TEST(JournalFraming, MidFileChecksumMismatchFailsLoudly) {
+  const std::string path = temp_path("corrupt.journal");
+  {
+    Journal journal(path);
+    journal.reconcile_mark(1.0);
+    journal.reconcile_mark(2.0);
+  }
+  // Flip one payload byte of the FIRST record: a bad checksum with more
+  // data after it is silent corruption, never a tolerable torn tail.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[10] = static_cast<char>(bytes[10] ^ 0x40);
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+
+  EXPECT_THROW((void)scan_journal(path), util::CheckFailure);
+  EXPECT_THROW((void)recover(path, {}), util::CheckFailure);
+}
+
+/// Hand-frames a payload exactly like Journal::append does.
+void write_frame(std::ofstream& out, const std::string& payload) {
+  const auto le = [&out](std::uint32_t x) {
+    char b[4] = {static_cast<char>(x & 0xffu),
+                 static_cast<char>((x >> 8) & 0xffu),
+                 static_cast<char>((x >> 16) & 0xffu),
+                 static_cast<char>((x >> 24) & 0xffu)};
+    out.write(b, 4);
+  };
+  le(static_cast<std::uint32_t>(payload.size()));
+  le(journal_crc32(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+TEST(JournalFraming, SequenceGapsAndForeignVersionsFailLoudly) {
+  const std::string gap_path = temp_path("seqgap.journal");
+  {
+    std::ofstream out(gap_path, std::ios::binary | std::ios::trunc);
+    write_frame(out, R"({"v":1,"seq":3,"t":0,"kind":"reconcile","data":{}})");
+  }
+  EXPECT_THROW((void)scan_journal(gap_path), util::CheckFailure);
+
+  const std::string ver_path = temp_path("version.journal");
+  {
+    std::ofstream out(ver_path, std::ios::binary | std::ios::trunc);
+    write_frame(out, R"({"v":2,"seq":0,"t":0,"kind":"reconcile","data":{}})");
+  }
+  EXPECT_THROW((void)scan_journal(ver_path), util::CheckFailure);
+}
+
+TEST(JournalFraming, TornWriteFaultWedgesTheJournal) {
+  util::FaultRegistry::global().clear();
+  const std::string path = temp_path("wedged.journal");
+  Journal journal(path);
+  journal.reconcile_mark(1.0);
+
+  util::FaultRegistry::global().arm("journal.torn_write",
+                                    util::FaultSpec{.times = 1});
+  EXPECT_THROW(journal.reconcile_mark(2.0), util::InjectedFault);
+  util::FaultRegistry::global().clear();
+  EXPECT_TRUE(journal.wedged());
+  // Wedged: the file ends mid-frame, so every further append refuses.
+  EXPECT_THROW(journal.reconcile_mark(3.0), util::CheckFailure);
+
+  const JournalScan scan = scan_journal(path);
+  EXPECT_TRUE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 1u);
+
+  // A fresh kContinue handle (the restarted process) truncates the tear
+  // and keeps appending where the crash left off.
+  Journal resumed(path, Journal::Mode::kContinue);
+  EXPECT_FALSE(resumed.wedged());
+  EXPECT_EQ(resumed.reconcile_mark(3.0), 1u);
+  EXPECT_FALSE(scan_journal(path).torn_tail);
+}
+
+TEST(JournalRecovery, SnapshotOnlyRoundTripIsBitIdentical) {
+  World w;
+  Orchestrator orch(w.network, w.catalog, {});
+  Controller controller(orch);
+  util::Rng rng(3);
+  const auto id1 = orch.admit(w.request, rng);
+  const auto id2 = orch.admit(w.request, rng);
+  ASSERT_TRUE(id1.has_value() && id2.has_value());
+  controller.on_admit(*id1, 0.5);
+  controller.on_admit(*id2, 0.75);
+  (void)orch.fail_instance(*id1, a_standby_of(orch, *id1));
+  controller.on_instance_failed(*id1, 1.0);
+  orch.fail_cloudlet(2);
+  controller.on_cloudlet_failed(2, 2.0);
+  (void)controller.reconcile(3.0);
+
+  const std::string path = temp_path("snapshot_only.journal");
+  Journal journal(path);
+  journal.snapshot(orch, controller, 3.0);
+
+  RecoverOptions options;
+  const Recovered recovered = recover(path, options);
+  EXPECT_EQ(recovered.replayed_events, 0u);
+  EXPECT_FALSE(recovered.torn_tail);
+  EXPECT_EQ(recovered.last_time, 3.0);
+  EXPECT_EQ(recovered.last_seq, 0u);
+  EXPECT_EQ(snap_of(*recovered.orch), snap_of(orch));
+  expect_controller_state_eq(recovered.controller->state(),
+                             controller.state());
+  EXPECT_EQ(recovered.controller->next_wakeup(), controller.next_wakeup());
+}
+
+TEST(JournalRecovery, SnapshotPlusTailReplaysToTheSameState) {
+  World w;
+  Orchestrator orch(w.network, w.catalog, {});
+  Controller controller(orch);
+  const std::string path = temp_path("tail_replay.journal");
+  Journal journal(path);
+  journal.snapshot(orch, controller, 0.0);
+
+  // Drive the full event vocabulary, journaling exactly like the chaos
+  // driver does: effect records for admissions, thin re-invocation records
+  // (written BEFORE applying) for everything deterministic.
+  util::Rng rng(5);
+  const auto id1 = orch.admit(w.request, rng);
+  ASSERT_TRUE(id1.has_value());
+  journal.admit(orch, orch.service(*id1), 1.0);
+  controller.on_admit(*id1, 1.0);
+  const auto id2 = orch.admit(w.request, rng);
+  ASSERT_TRUE(id2.has_value());
+  journal.admit(orch, orch.service(*id2), 1.5);
+  controller.on_admit(*id2, 1.5);
+
+  const InstanceId victim = a_standby_of(orch, *id1);
+  journal.instance_failure(*id1, victim, 2.0);
+  (void)orch.fail_instance(*id1, victim);
+  controller.on_instance_failed(*id1, 2.0);
+
+  journal.cloudlet_outage(1, 3.0);
+  orch.fail_cloudlet(1);
+  controller.on_cloudlet_failed(1, 3.0);
+
+  journal.reconcile_mark(4.0);
+  (void)controller.reconcile(4.0);
+
+  journal.teardown(*id2, 5.0);
+  orch.teardown(*id2);
+  controller.on_teardown(*id2);
+
+  journal.repair(1, 6.0);
+  orch.repair_cloudlet(1);
+
+  RecoverOptions options;
+  const Recovered recovered = recover(path, options);
+  EXPECT_EQ(recovered.replayed_events, 7u);
+  EXPECT_EQ(recovered.last_time, 6.0);
+  EXPECT_EQ(recovered.last_seq, 7u);
+  EXPECT_EQ(snap_of(*recovered.orch), snap_of(orch));
+  expect_controller_state_eq(recovered.controller->state(),
+                             controller.state());
+
+  // The recovered pair is LIVE, not a museum piece: both sides admit the
+  // next request identically.
+  util::Rng rng_a(11);
+  util::Rng rng_b(11);
+  const auto next_live = orch.admit(w.request, rng_a);
+  const auto next_rec = recovered.orch->admit(w.request, rng_b);
+  ASSERT_TRUE(next_live.has_value() && next_rec.has_value());
+  EXPECT_EQ(*next_live, *next_rec);
+  EXPECT_EQ(snap_of(*recovered.orch), snap_of(orch));
+}
+
+TEST(JournalRecovery, TornFinalRecordRecoversToTheLastCompleteEvent) {
+  World w;
+  Orchestrator orch(w.network, w.catalog, {});
+  Controller controller(orch);
+  const std::string path = temp_path("torn_recover.journal");
+  Journal journal(path);
+  journal.snapshot(orch, controller, 0.0);
+
+  util::Rng rng(9);
+  const auto id1 = orch.admit(w.request, rng);
+  ASSERT_TRUE(id1.has_value());
+  journal.admit(orch, orch.service(*id1), 1.0);
+  controller.on_admit(*id1, 1.0);
+  const OrchSnap after_first = snap_of(orch);
+  const ControllerState state_first = controller.state();
+
+  const auto id2 = orch.admit(w.request, rng);
+  ASSERT_TRUE(id2.has_value());
+  journal.admit(orch, orch.service(*id2), 2.0);
+  controller.on_admit(*id2, 2.0);
+
+  // Tear the second admit's frame: recovery lands exactly on the state
+  // after the first admit, flagged as a torn tail.
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 5);
+  RecoverOptions options;
+  const Recovered recovered = recover(path, options);
+  EXPECT_TRUE(recovered.torn_tail);
+  EXPECT_EQ(recovered.replayed_events, 1u);
+  EXPECT_EQ(recovered.last_seq, 1u);
+  EXPECT_EQ(recovered.last_time, 1.0);
+  EXPECT_EQ(snap_of(*recovered.orch), after_first);
+  expect_controller_state_eq(recovered.controller->state(), state_first);
+}
+
+}  // namespace
+}  // namespace mecra::orchestrator
