@@ -1,9 +1,12 @@
 // Microbenchmarks for the graph substrate: topology generation (the GT-ITM
-// Waxman model the experiments use), BFS neighborhoods, and the full
+// Waxman model the experiments use plus the cell-bucketed geometric model
+// for 100k+ APs), BFS neighborhoods, the CSR/oracle index, and the full
 // scenario builder.
 #include <benchmark/benchmark.h>
 
 #include "graph/algorithms.h"
+#include "graph/csr.h"
+#include "graph/hop_oracle.h"
 #include "graph/topology.h"
 #include "sim/workload.h"
 
@@ -56,6 +59,77 @@ void BM_LHopNeighborhoods(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LHopNeighborhoods)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_GeometricGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    auto t = graph::random_geometric({.num_nodes = n}, rng);
+    benchmark::DoNotOptimize(t.graph.num_edges());
+  }
+}
+BENCHMARK(BM_GeometricGeneration)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CsrBuild(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto t = graph::random_geometric(
+      {.num_nodes = static_cast<std::size_t>(state.range(0))}, rng);
+  for (auto _ : state) {
+    auto csr = graph::CsrGraph::build(t.graph);
+    benchmark::DoNotOptimize(csr.num_edges());
+  }
+}
+BENCHMARK(BM_CsrBuild)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_HopOracleBuild(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto t = graph::random_geometric(
+      {.num_nodes = static_cast<std::size_t>(state.range(0))}, rng);
+  const auto csr = graph::CsrGraph::build(t.graph);
+  for (auto _ : state) {
+    auto oracle = graph::HopOracle::build(csr);
+    benchmark::DoNotOptimize(oracle.stats().num_leaves);
+  }
+}
+BENCHMARK(BM_HopOracleBuild)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OracleLHopMembers(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto t = graph::random_geometric(
+      {.num_nodes = static_cast<std::size_t>(state.range(0))}, rng);
+  const auto csr = graph::CsrGraph::build(t.graph);
+  const auto oracle = graph::HopOracle::build(csr);
+  graph::NodeId v = 0;
+  for (auto _ : state) {
+    auto n = oracle.l_hop_members(v, 2);
+    benchmark::DoNotOptimize(n.size());
+    v = (v + 9973) % static_cast<graph::NodeId>(t.graph.num_nodes());
+  }
+}
+BENCHMARK(BM_OracleLHopMembers)->Arg(10000)->Arg(100000);
+
+void BM_OracleHopDistance(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto t = graph::random_geometric(
+      {.num_nodes = static_cast<std::size_t>(state.range(0))}, rng);
+  const auto csr = graph::CsrGraph::build(t.graph);
+  const auto oracle = graph::HopOracle::build(csr);
+  const auto n = static_cast<graph::NodeId>(t.graph.num_nodes());
+  graph::NodeId u = 0;
+  for (auto _ : state) {
+    auto d = oracle.hop_distance(u, (u * 31 + 17) % n);
+    benchmark::DoNotOptimize(d);
+    u = (u + 9973) % n;
+  }
+}
+BENCHMARK(BM_OracleHopDistance)->Arg(10000)->Arg(100000);
 
 void BM_ScenarioBuild(benchmark::State& state) {
   sim::ScenarioParams params;

@@ -79,12 +79,14 @@ std::vector<graph::NodeId> dag_suffix_path(
   };
 
   // Hop distances from every cloudlet (and the start/end APs) to everywhere.
-  // O(|cloudlets| * (V + E)) — cheap at the paper's scale.
+  // The DP genuinely reads all-cloudlets x all-cloudlets distances, so this
+  // stays one BFS per cloudlet — over the packed CSR arrays rather than the
+  // pointer-per-row adjacency lists.
   std::vector<std::vector<std::uint32_t>> hops_from(cloudlets.size());
   for (std::size_t c = 0; c < cloudlets.size(); ++c) {
-    hops_from[c] = graph::bfs_hops(network.topology(), cloudlets[c]);
+    hops_from[c] = graph::bfs_hops(network.csr(), cloudlets[c]);
   }
-  const auto hops_from_start = graph::bfs_hops(network.topology(), from);
+  const auto hops_from_start = graph::bfs_hops(network.csr(), from);
 
   // dp[layer][c]: best cost placing functions first_pos..first_pos+layer at
   // cloudlet index c for the last one.
@@ -122,7 +124,7 @@ std::vector<graph::NodeId> dag_suffix_path(
 
   // Terminal: add the egress hop penalty toward the destination AP.
   const auto hops_to_dest =
-      graph::bfs_hops(network.topology(), request.destination);
+      graph::bfs_hops(network.csr(), request.destination);
   double best = kInf;
   std::size_t best_c = 0;
   for (std::size_t c = 0; c < cloudlets.size(); ++c) {

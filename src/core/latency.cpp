@@ -1,8 +1,10 @@
 #include "core/latency.h"
 
 #include <map>
+#include <vector>
 
 #include "graph/algorithms.h"
+#include "graph/hop_oracle.h"
 
 namespace mecra::core {
 
@@ -12,20 +14,25 @@ UpdateLatencyStats update_latency(const mec::MecNetwork& network,
   UpdateLatencyStats stats;
   if (result.placements.empty()) return stats;
 
-  // BFS once per distinct primary cloudlet.
-  std::map<graph::NodeId, std::vector<std::uint32_t>> hops_from;
-  for (const auto& fn : instance.functions) {
-    if (hops_from.count(fn.primary) == 0) {
-      hops_from.emplace(fn.primary,
-                        graph::bfs_hops(network.topology(), fn.primary));
-    }
+  // One early-terminating oracle walk per distinct primary cloudlet: the
+  // secondaries all sit within the paper's l bound of their primary, so the
+  // walk settles them after O(|ball|) work instead of a full-network BFS.
+  std::map<graph::NodeId, std::vector<graph::NodeId>> targets_of;
+  for (const SecondaryPlacement& p : result.placements) {
+    targets_of[instance.functions[p.chain_pos].primary].push_back(p.cloudlet);
+  }
+  std::map<graph::NodeId, std::vector<std::uint32_t>> hops_of;
+  for (auto& [primary, targets] : targets_of) {
+    hops_of.emplace(primary,
+                    network.oracle().hops_to_targets(primary, targets));
   }
 
   double total = 0.0;
   std::size_t colocated = 0;
+  std::map<graph::NodeId, std::size_t> cursor;
   for (const SecondaryPlacement& p : result.placements) {
     const graph::NodeId primary = instance.functions[p.chain_pos].primary;
-    const std::uint32_t h = hops_from.at(primary)[p.cloudlet];
+    const std::uint32_t h = hops_of.at(primary)[cursor[primary]++];
     MECRA_CHECK_MSG(h != graph::kUnreachable,
                     "secondary unreachable from its primary");
     total += static_cast<double>(h);

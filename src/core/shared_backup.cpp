@@ -57,21 +57,21 @@ SharedPlan plan_shared_backups(const mec::MecNetwork& network,
   };
   std::vector<Candidate> candidates;
   {
-    // Hop distances from every cloudlet once.
+    // One bounded l-ball per cloudlet from the hop oracle (the pre-oracle
+    // code materialized a full |cloudlets| x V hop matrix — an all-pairs
+    // table in disguise that capped topology size). A primary is served by
+    // u exactly when it lies in ball(u, l); the ball is sorted, so each
+    // membership test is one binary search.
     const auto& cloudlets = network.cloudlets();
-    std::vector<std::vector<std::uint32_t>> hops(cloudlets.size());
-    for (std::size_t c = 0; c < cloudlets.size(); ++c) {
-      hops[c] = graph::bfs_hops(network.topology(), cloudlets[c]);
-    }
     for (std::size_t c = 0; c < cloudlets.size(); ++c) {
       const graph::NodeId u = cloudlets[c];
+      const auto ball = network.oracle().members_within(u, options.l_hops);
       std::vector<std::vector<ServedSlot>> by_function(catalog.size());
       for (std::size_t j = 0; j < admitted.size(); ++j) {
         const auto& adm = admitted[j];
         for (std::size_t p = 0; p < adm.request.length(); ++p) {
           const graph::NodeId primary = adm.primaries.cloudlet_of[p];
-          if (hops[c][primary] != graph::kUnreachable &&
-              hops[c][primary] <= options.l_hops) {
+          if (std::binary_search(ball.begin(), ball.end(), primary)) {
             by_function[adm.request.chain[p]].push_back(ServedSlot{j, p});
           }
         }

@@ -1,19 +1,29 @@
 #include "graph/algorithms.h"
 
 #include <algorithm>
-#include <deque>
 #include <queue>
+
+#include "graph/csr.h"
 
 namespace mecra::graph {
 
-std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
+namespace {
+
+// The traversal algorithms are representation-agnostic: both Graph and
+// CsrGraph expose num_nodes()/neighbors()/neighbor_weights() with identical
+// (sorted) neighbor order, so one template serves both and the overloads
+// are guaranteed to agree bit for bit.
+
+template <typename G>
+std::vector<std::uint32_t> bfs_hops_impl(const G& g, NodeId source) {
   MECRA_CHECK(source < g.num_nodes());
   std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
-  std::deque<NodeId> frontier{source};
+  std::vector<NodeId> frontier;
+  frontier.reserve(g.num_nodes());
+  frontier.push_back(source);
   dist[source] = 0;
-  while (!frontier.empty()) {
-    NodeId u = frontier.front();
-    frontier.pop_front();
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId u = frontier[head];
     for (NodeId w : g.neighbors(u)) {
       if (dist[w] == kUnreachable) {
         dist[w] = dist[u] + 1;
@@ -24,19 +34,11 @@ std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
   return dist;
 }
 
-std::vector<std::vector<std::uint32_t>> all_pairs_hops(const Graph& g) {
-  std::vector<std::vector<std::uint32_t>> result;
-  result.reserve(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    result.push_back(bfs_hops(g, v));
-  }
-  return result;
-}
-
-std::vector<NodeId> l_hop_neighbors(const Graph& g, NodeId v,
-                                    std::uint32_t l) {
+template <typename G>
+std::vector<NodeId> l_hop_neighbors_impl(const G& g, NodeId v,
+                                         std::uint32_t l) {
   MECRA_CHECK(l >= 1);
-  auto dist = bfs_hops(g, v);
+  auto dist = bfs_hops_impl(g, v);
   std::vector<NodeId> out;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     if (u != v && dist[u] != kUnreachable && dist[u] <= l) {
@@ -46,23 +48,26 @@ std::vector<NodeId> l_hop_neighbors(const Graph& g, NodeId v,
   return out;  // ascending by construction
 }
 
-bool is_connected(const Graph& g) {
+template <typename G>
+bool is_connected_impl(const G& g) {
   if (g.num_nodes() <= 1) return true;
-  auto dist = bfs_hops(g, 0);
+  auto dist = bfs_hops_impl(g, 0);
   return std::none_of(dist.begin(), dist.end(),
                       [](std::uint32_t d) { return d == kUnreachable; });
 }
 
-std::vector<std::uint32_t> connected_components(const Graph& g) {
+template <typename G>
+std::vector<std::uint32_t> connected_components_impl(const G& g) {
   std::vector<std::uint32_t> label(g.num_nodes(), kUnreachable);
   std::uint32_t next = 0;
+  std::vector<NodeId> frontier;
   for (NodeId s = 0; s < g.num_nodes(); ++s) {
     if (label[s] != kUnreachable) continue;
     label[s] = next;
-    std::deque<NodeId> frontier{s};
-    while (!frontier.empty()) {
-      NodeId u = frontier.front();
-      frontier.pop_front();
+    frontier.clear();
+    frontier.push_back(s);
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const NodeId u = frontier[head];
       for (NodeId w : g.neighbors(u)) {
         if (label[w] == kUnreachable) {
           label[w] = next;
@@ -75,7 +80,8 @@ std::vector<std::uint32_t> connected_components(const Graph& g) {
   return label;
 }
 
-DijkstraResult dijkstra(const Graph& g, NodeId source) {
+template <typename G>
+DijkstraResult dijkstra_impl(const G& g, NodeId source) {
   MECRA_CHECK(source < g.num_nodes());
   constexpr double kInf = std::numeric_limits<double>::infinity();
   DijkstraResult r;
@@ -105,6 +111,58 @@ DijkstraResult dijkstra(const Graph& g, NodeId source) {
     }
   }
   return r;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
+  return bfs_hops_impl(g, source);
+}
+
+std::vector<std::uint32_t> bfs_hops(const CsrGraph& g, NodeId source) {
+  return bfs_hops_impl(g, source);
+}
+
+std::vector<std::vector<std::uint32_t>> all_pairs_hops(const Graph& g) {
+  MECRA_CHECK_MSG(g.num_nodes() <= kAllPairsMaxNodes,
+                  "all_pairs_hops would allocate an O(V^2) matrix; use "
+                  "HopOracle or per-source bfs_hops for large topologies");
+  std::vector<std::vector<std::uint32_t>> result;
+  result.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result.push_back(bfs_hops(g, v));
+  }
+  return result;
+}
+
+std::vector<NodeId> l_hop_neighbors(const Graph& g, NodeId v,
+                                    std::uint32_t l) {
+  return l_hop_neighbors_impl(g, v, l);
+}
+
+std::vector<NodeId> l_hop_neighbors(const CsrGraph& g, NodeId v,
+                                    std::uint32_t l) {
+  return l_hop_neighbors_impl(g, v, l);
+}
+
+bool is_connected(const Graph& g) { return is_connected_impl(g); }
+
+bool is_connected(const CsrGraph& g) { return is_connected_impl(g); }
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  return connected_components_impl(g);
+}
+
+std::vector<std::uint32_t> connected_components(const CsrGraph& g) {
+  return connected_components_impl(g);
+}
+
+DijkstraResult dijkstra(const Graph& g, NodeId source) {
+  return dijkstra_impl(g, source);
+}
+
+DijkstraResult dijkstra(const CsrGraph& g, NodeId source) {
+  return dijkstra_impl(g, source);
 }
 
 std::vector<NodeId> extract_path(const DijkstraResult& r, NodeId source,

@@ -12,15 +12,25 @@
 
 namespace mecra::graph {
 
+class CsrGraph;  // graph/csr.h
+
 /// Sentinel for "unreachable" in hop-distance vectors.
 inline constexpr std::uint32_t kUnreachable =
     std::numeric_limits<std::uint32_t>::max();
 
 /// BFS hop distances from `source` to every node (kUnreachable if none).
+/// The CsrGraph overload returns bit-identical distances while streaming
+/// the packed neighbor arrays (no per-row pointer chase).
 [[nodiscard]] std::vector<std::uint32_t> bfs_hops(const Graph& g,
                                                   NodeId source);
+[[nodiscard]] std::vector<std::uint32_t> bfs_hops(const CsrGraph& g,
+                                                  NodeId source);
 
-/// All-pairs hop distances; result[u][v]. O(V·(V+E)).
+/// All-pairs hop distances; result[u][v]. O(V·(V+E)) time AND O(V²) memory:
+/// guarded by kAllPairsMaxNodes so a 100k-AP scenario cannot silently
+/// allocate a 10^10-entry matrix — large topologies must go through
+/// HopOracle queries or per-source bfs_hops instead.
+inline constexpr std::size_t kAllPairsMaxNodes = 8192;
 [[nodiscard]] std::vector<std::vector<std::uint32_t>> all_pairs_hops(
     const Graph& g);
 
@@ -28,11 +38,16 @@ inline constexpr std::uint32_t kUnreachable =
 /// sorted ascending. N_l^+(v) is this plus v.
 [[nodiscard]] std::vector<NodeId> l_hop_neighbors(const Graph& g, NodeId v,
                                                   std::uint32_t l);
+[[nodiscard]] std::vector<NodeId> l_hop_neighbors(const CsrGraph& g, NodeId v,
+                                                  std::uint32_t l);
 
 [[nodiscard]] bool is_connected(const Graph& g);
+[[nodiscard]] bool is_connected(const CsrGraph& g);
 
 /// Connected-component label per node, labels dense from 0.
 [[nodiscard]] std::vector<std::uint32_t> connected_components(const Graph& g);
+[[nodiscard]] std::vector<std::uint32_t> connected_components(
+    const CsrGraph& g);
 
 struct DijkstraResult {
   std::vector<double> distance;   // +inf when unreachable
@@ -41,6 +56,7 @@ struct DijkstraResult {
 
 /// Dijkstra over non-negative edge weights.
 [[nodiscard]] DijkstraResult dijkstra(const Graph& g, NodeId source);
+[[nodiscard]] DijkstraResult dijkstra(const CsrGraph& g, NodeId source);
 
 /// Reconstructs the path source→target from a DijkstraResult; empty when
 /// unreachable. The path includes both endpoints.

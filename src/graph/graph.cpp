@@ -21,18 +21,22 @@ void Graph::add_edge(NodeId u, NodeId v, double weight) {
   insert_sorted(v, u, weight);
 }
 
-bool Graph::has_edge(NodeId u, NodeId v) const {
+std::size_t Graph::neighbor_index(NodeId u, NodeId v) const {
   MECRA_CHECK(u < num_nodes() && v < num_nodes());
   const auto& adj = adjacency_[u];
-  return std::binary_search(adj.begin(), adj.end(), v);
+  const auto pos = std::lower_bound(adj.begin(), adj.end(), v);
+  if (pos == adj.end() || *pos != v) return npos;
+  return static_cast<std::size_t>(pos - adj.begin());
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  return neighbor_index(u, v) != npos;
 }
 
 double Graph::edge_weight(NodeId u, NodeId v) const {
-  MECRA_CHECK(u < num_nodes() && v < num_nodes());
-  const auto& adj = adjacency_[u];
-  auto pos = std::lower_bound(adj.begin(), adj.end(), v);
-  MECRA_CHECK_MSG(pos != adj.end() && *pos == v, "edge does not exist");
-  return adj_weights_[u][static_cast<std::size_t>(pos - adj.begin())];
+  const std::size_t idx = neighbor_index(u, v);
+  MECRA_CHECK_MSG(idx != npos, "edge does not exist");
+  return adj_weights_[u][idx];
 }
 
 }  // namespace mecra::graph

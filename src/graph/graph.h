@@ -68,6 +68,11 @@ class Graph {
   }
 
  private:
+  /// Position of `v` in u's sorted adjacency row, or npos when the edge is
+  /// absent — the single binary search has_edge and edge_weight share.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t neighbor_index(NodeId u, NodeId v) const;
+
   std::vector<std::vector<NodeId>> adjacency_;
   std::vector<std::vector<double>> adj_weights_;
   std::vector<Edge> edges_;

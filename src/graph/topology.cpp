@@ -165,6 +165,86 @@ GeneratedTopology transit_stub(const TransitStubParams& params,
   return out;
 }
 
+GeneratedTopology random_geometric(const GeometricParams& params,
+                                   util::Rng& rng) {
+  MECRA_CHECK(params.num_nodes >= 1);
+  MECRA_CHECK(params.target_degree > 0.0);
+  MECRA_CHECK(params.alpha > 0.0 && params.alpha <= 1.0);
+  MECRA_CHECK(params.beta > 0.0 && params.beta <= 1.0);
+
+  GeneratedTopology out;
+  const std::size_t n = params.num_nodes;
+  out.graph = Graph(n);
+  out.x.resize(n);
+  out.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.x[i] = rng.uniform01();
+    out.y[i] = rng.uniform01();
+  }
+
+  // Radius for the requested expected degree: within radius r the expected
+  // candidate count is n*pi*r^2 and the mean Waxman acceptance over a
+  // uniform disk is alpha * 2(beta^2 - e^{-1/beta}(beta + beta^2)).
+  const double b = params.beta;
+  const double accept = params.alpha *
+                        2.0 * (b * b - std::exp(-1.0 / b) * (b + b * b));
+  const double pi = 3.14159265358979323846;
+  const double radius = std::min(
+      1.0, std::sqrt(params.target_degree /
+                     (static_cast<double>(n) * pi * std::max(1e-9, accept))));
+
+  // Cell bucketing: only pairs in the same or adjacent cells can be within
+  // the radius, so the scan is O(n * degree) instead of O(n^2).
+  const auto cells =
+      std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / radius));
+  const double cell_size = 1.0 / static_cast<double>(cells);
+  const auto cell_of = [&](double coord) {
+    return std::min(cells - 1,
+                    static_cast<std::size_t>(coord / cell_size));
+  };
+  std::vector<std::vector<NodeId>> bucket(cells * cells);
+  for (NodeId v = 0; v < n; ++v) {
+    bucket[cell_of(out.y[v]) * cells + cell_of(out.x[v])].push_back(v);
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t cx = cell_of(out.x[u]);
+    const std::size_t cy = cell_of(out.y[u]);
+    for (std::size_t dy = (cy == 0 ? 0 : cy - 1);
+         dy <= std::min(cells - 1, cy + 1); ++dy) {
+      for (std::size_t dx = (cx == 0 ? 0 : cx - 1);
+           dx <= std::min(cells - 1, cx + 1); ++dx) {
+        for (const NodeId v : bucket[dy * cells + dx]) {
+          if (v <= u) continue;  // each pair drawn once, in (u, v) order
+          const double d = euclid(out.x[u], out.y[u], out.x[v], out.y[v]);
+          if (d > radius) continue;
+          const double p =
+              params.alpha * std::exp(-d / (params.beta * radius));
+          if (rng.bernoulli(std::min(1.0, p))) {
+            out.graph.add_edge(u, v);
+          }
+        }
+      }
+    }
+  }
+
+  if (params.ensure_connected && n > 1) {
+    DisjointSets dsu(n);
+    for (const Edge& e : out.graph.edges()) dsu.unite(e.u, e.v);
+    // Link components along node order (geometric nearest-pair repair is
+    // O(n^2) per edge; at this scale deterministic chain repair wins).
+    NodeId prev = 0;
+    for (NodeId v = 1; v < n; ++v) {
+      if (dsu.find(v) != dsu.find(prev)) {
+        out.graph.add_edge(prev, v);
+        dsu.unite(prev, v);
+      }
+      prev = v;
+    }
+  }
+  return out;
+}
+
 Graph erdos_renyi(std::size_t num_nodes, double p, util::Rng& rng,
                   bool ensure_connected) {
   MECRA_CHECK(p >= 0.0 && p <= 1.0);

@@ -58,6 +58,28 @@ struct TransitStubParams {
 [[nodiscard]] GeneratedTopology transit_stub(const TransitStubParams& params,
                                              util::Rng& rng);
 
+struct GeometricParams {
+  std::size_t num_nodes = 100000;
+  /// Expected average degree; sets the connection radius so the pair scan
+  /// stays O(n · degree) via cell bucketing (usable at 100k–1M APs where
+  /// the O(n²) Waxman scan is not).
+  double target_degree = 8.0;
+  /// Acceptance probability within the radius, Waxman-flavored:
+  /// alpha * exp(-d / (beta * radius)).
+  double alpha = 0.9;
+  double beta = 0.6;
+  bool ensure_connected = true;
+};
+
+/// Cell-bucketed random geometric graph — the continental-scale AP
+/// generator. Nodes are uniform in the unit square; only pairs within the
+/// connection radius (looked up through a radius-sized grid, never the full
+/// O(n²) pair scan) draw a Waxman-style acceptance test. Deterministic for
+/// a given (params, rng state). Connectivity repair links component
+/// representatives in node order (no geometry), like erdos_renyi.
+[[nodiscard]] GeneratedTopology random_geometric(const GeometricParams& params,
+                                                 util::Rng& rng);
+
 /// Erdős–Rényi G(n, p), optionally repaired to be connected.
 [[nodiscard]] Graph erdos_renyi(std::size_t num_nodes, double p,
                                 util::Rng& rng, bool ensure_connected = true);

@@ -5,9 +5,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
+#include "graph/hop_oracle.h"
 #include "util/rng.h"
 
 namespace mecra::mec {
@@ -21,6 +24,21 @@ class MecNetwork {
 
   [[nodiscard]] const graph::Graph& topology() const noexcept {
     return topology_;
+  }
+
+  /// Packed CSR view of the topology, built once at construction (the
+  /// topology is immutable afterwards). Copies of the network share it.
+  [[nodiscard]] const graph::CsrGraph& csr() const {
+    MECRA_CHECK_MSG(csr_ != nullptr, "network has no topology");
+    return *csr_;
+  }
+
+  /// Hierarchical hop-distance/neighbourhood oracle over csr(); answers
+  /// N_l(v) / within-l / point-to-point hop queries bit-identically to BFS
+  /// (see graph/hop_oracle.h). Copies of the network share it.
+  [[nodiscard]] const graph::HopOracle& oracle() const {
+    MECRA_CHECK_MSG(oracle_ != nullptr, "network has no topology");
+    return *oracle_;
   }
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return topology_.num_nodes();
@@ -91,6 +109,11 @@ class MecNetwork {
 
  private:
   graph::Graph topology_;
+  // Immutable derived structures, shared (not deep-copied) between copies
+  // of the network: the topology never changes after construction, so every
+  // copy may serve distance queries from the same index.
+  std::shared_ptr<const graph::CsrGraph> csr_;
+  std::shared_ptr<const graph::HopOracle> oracle_;
   std::vector<double> capacity_;
   std::vector<double> residual_;
   std::vector<graph::NodeId> cloudlets_;

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
 
 #include "graph/algorithms.h"
+#include "graph/csr.h"
+#include "graph/hop_oracle.h"
 #include "util/check.h"
 
 namespace mecra::mec {
@@ -46,12 +47,13 @@ ShardMap ShardMap::build(const MecNetwork& network,
   // the lowest-id cloudlet; each next seed is the cloudlet farthest from
   // every chosen seed (unreachable counts as infinitely far; ties go to
   // the lowest node id). Deterministic by construction.
+  const graph::CsrGraph& csr = network.csr();
   std::vector<graph::NodeId> seeds;
   std::vector<std::vector<std::uint32_t>> seed_hops;
   seeds.reserve(map.num_shards_);
   std::vector<std::uint32_t> min_dist(num_nodes, graph::kUnreachable);
   seeds.push_back(cloudlets.front());
-  seed_hops.push_back(graph::bfs_hops(network.topology(), seeds.back()));
+  seed_hops.push_back(graph::bfs_hops(csr, seeds.back()));
   for (graph::NodeId v = 0; v < num_nodes; ++v) {
     min_dist[v] = seed_hops.back()[v];
   }
@@ -70,7 +72,7 @@ ShardMap ShardMap::build(const MecNetwork& network,
     }
     if (!found) break;  // fewer distinct positions than requested shards
     seeds.push_back(farthest);
-    seed_hops.push_back(graph::bfs_hops(network.topology(), farthest));
+    seed_hops.push_back(graph::bfs_hops(csr, farthest));
     const auto& hops = seed_hops.back();
     for (graph::NodeId v = 0; v < num_nodes; ++v) {
       min_dist[v] = std::min(min_dist[v], hops[v]);
@@ -94,9 +96,10 @@ ShardMap ShardMap::build(const MecNetwork& network,
     map.shard_cloudlets_[best_s].push_back(v);
   }
 
-  // Neighbourhood cache: cloudlets of N_l^+(v) per cloudlet. One BFS per
-  // cloudlet at build time replaces one BFS per request per chain position
-  // at admission time.
+  // Neighbourhood cache: cloudlets of N_l^+(v) per cloudlet, read from the
+  // network's hop oracle — one bounded O(|ball|) walk per cloudlet instead
+  // of the full-network BFS the pre-oracle build paid, bit-identical output
+  // (tests/csr_oracle_test.cpp asserts cache == BFS).
   map.neighborhood_.assign(num_nodes, {});
   for (graph::NodeId v : cloudlets) {
     map.neighborhood_[v] =
@@ -129,16 +132,16 @@ ShardMap ShardMap::build(const MecNetwork& network,
   // with ties broken toward the lowest cloudlet id. Deterministic.
   map.home_shard_.assign(num_nodes, 0);
   std::vector<std::uint32_t> dist(num_nodes, graph::kUnreachable);
-  std::deque<graph::NodeId> queue;
+  std::vector<graph::NodeId> queue;
+  queue.reserve(num_nodes);
   for (graph::NodeId v : cloudlets) {
     dist[v] = 0;
     map.home_shard_[v] = map.shard_of_[v];
     queue.push_back(v);
   }
-  while (!queue.empty()) {
-    const graph::NodeId v = queue.front();
-    queue.pop_front();
-    for (graph::NodeId u : network.topology().neighbors(v)) {
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const graph::NodeId v = queue[head];
+    for (graph::NodeId u : csr.neighbors(v)) {
       if (dist[u] != graph::kUnreachable) continue;
       dist[u] = dist[v] + 1;
       map.home_shard_[u] = map.home_shard_[v];

@@ -485,17 +485,25 @@ void Orchestrator::promote_for_position(Service& svc,
     }
   }
   // Promote the running standby closest (in hops) to the failed primary —
-  // minimizing the state-transfer distance the paper's l bound caps.
-  const auto hops = graph::bfs_hops(network_.topology(), failed_at);
+  // minimizing the state-transfer distance the paper's l bound caps. The
+  // standbys are the only distances needed, so the oracle's early-stopping
+  // walk replaces the full-network BFS (bit-identical distances).
+  std::vector<Instance*> standbys;
+  std::vector<graph::NodeId> standby_at;
+  for (Instance& inst : svc.instances) {
+    if (inst.chain_pos == chain_pos &&
+        inst.state == InstanceState::kRunning &&
+        inst.role == InstanceRole::kStandby) {
+      standbys.push_back(&inst);
+      standby_at.push_back(inst.cloudlet);
+    }
+  }
+  const auto hops = network_.oracle().hops_to_targets(failed_at, standby_at);
   Instance* best = nullptr;
   std::uint32_t best_hops = std::numeric_limits<std::uint32_t>::max();
-  for (Instance& inst : svc.instances) {
-    if (inst.chain_pos != chain_pos ||
-        inst.state != InstanceState::kRunning ||
-        inst.role != InstanceRole::kStandby) {
-      continue;
-    }
-    const std::uint32_t h = hops[inst.cloudlet];
+  for (std::size_t i = 0; i < standbys.size(); ++i) {
+    Instance& inst = *standbys[i];
+    const std::uint32_t h = hops[i];
     // Deterministic: strictly nearer wins; hop ties go to the lowest
     // instance id. An unreachable standby (disconnected topology) is still
     // promotable when nothing nearer exists.
