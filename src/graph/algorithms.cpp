@@ -209,7 +209,17 @@ bool DisjointSets::unite(std::size_t x, std::size_t y) {
 std::vector<Edge> minimum_spanning_forest(std::size_t num_nodes,
                                           std::vector<Edge> candidate_edges) {
   std::sort(candidate_edges.begin(), candidate_edges.end(),
-            [](const Edge& a, const Edge& b) { return a.weight < b.weight; });
+            [](const Edge& a, const Edge& b) {
+              // Equal weights are the COMMON case (hop metrics weigh every
+              // edge 1.0), and Kruskal picks whichever ties come first, so
+              // a weight-only comparator makes the forest depend on
+              // std::sort's implementation-defined tie order. Break ties
+              // on (u, v) to make the result a pure function of the edge
+              // SET — input permutation must not change the forest.
+              if (a.weight != b.weight) return a.weight < b.weight;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
   DisjointSets dsu(num_nodes);
   std::vector<Edge> chosen;
   for (const Edge& e : candidate_edges) {

@@ -37,6 +37,15 @@
 // Thread safety: immutable after build(); queries use thread_local scratch
 // and are safe from any thread. Lifetime: the oracle keeps a pointer to
 // the CsrGraph it was built from and must not outlive it.
+//
+// Lock discipline: the shared state (cluster tree, boundary tables, CSR
+// pointer) is published by build() and never written again, so concurrent
+// queries need no mutex — the epoch-stamped thread_local scratch is the
+// ONLY mutable state and is never shared. Keep it that way: any field a
+// query could write must either stay thread_local or become
+// MECRA_GUARDED_BY a util::Mutex (util/thread_annotations.h) so the clang
+// -Wthread-safety build proves the new protocol instead of TSan sampling
+// it.
 #pragma once
 
 #include <cstdint>

@@ -115,7 +115,7 @@ struct Dumper {
       out += ']';
     } else {
       const auto& obj = v.as_object();
-      if (obj.size() == 0) {
+      if (obj.empty()) {
         out += "{}";
         return;
       }

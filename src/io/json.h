@@ -30,6 +30,7 @@ class JsonObject {
   /// Access; requires the key to exist.
   [[nodiscard]] const Json& at(const std::string& key) const;
   [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return keys_.empty(); }
   [[nodiscard]] const std::vector<std::string>& keys() const noexcept {
     return keys_;
   }

@@ -29,9 +29,12 @@ RowId Model::add_constraint(std::vector<Term> terms, Relation relation,
                             double rhs, std::string name) {
   MECRA_CHECK_MSG(std::isfinite(rhs), "constraint rhs must be finite");
   // Merge duplicate variables and drop zero coefficients so the solver sees
-  // a clean sparse row.
-  std::sort(terms.begin(), terms.end(),
-            [](const Term& a, const Term& b) { return a.var < b.var; });
+  // a clean sparse row. stable_sort, not sort: duplicate-var coefficients
+  // merge with FP `+=` below, and addition order changes the merged bits
+  // ((a+b)+c != a+(b+c)); stability pins the fold to input order so the
+  // row is a pure function of the caller's term list.
+  std::stable_sort(terms.begin(), terms.end(),
+                   [](const Term& a, const Term& b) { return a.var < b.var; });
   std::vector<Term> merged;
   merged.reserve(terms.size());
   for (const Term& t : terms) {

@@ -5,7 +5,7 @@ namespace mecra::mec {
 SfcRequest random_request(RequestId id, const VnfCatalog& catalog,
                           std::size_t num_nodes, const RequestParams& params,
                           util::Rng& rng) {
-  MECRA_CHECK(catalog.size() > 0);
+  MECRA_CHECK(!catalog.empty());
   MECRA_CHECK(num_nodes > 0);
   MECRA_CHECK(params.chain_length_low >= 1 &&
               params.chain_length_low <= params.chain_length_high);

@@ -33,6 +33,7 @@ class VnfCatalog {
   explicit VnfCatalog(std::vector<NetworkFunction> functions);
 
   [[nodiscard]] std::size_t size() const noexcept { return functions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return functions_.empty(); }
   [[nodiscard]] const NetworkFunction& function(FunctionId f) const {
     MECRA_CHECK(f < functions_.size());
     return functions_[f];

@@ -149,7 +149,7 @@ MetricsRegistry& MetricsRegistry::global() {
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   MECRA_CHECK_MSG(!name.empty(), "instrument name must be non-empty");
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -162,7 +162,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   MECRA_CHECK_MSG(!name.empty(), "instrument name must be non-empty");
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -176,7 +176,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
   MECRA_CHECK_MSG(!name.empty(), "instrument name must be non-empty");
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     if (bounds.empty()) bounds = Histogram::default_latency_bounds();
@@ -190,14 +190,14 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 void MetricsRegistry::reset() {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -215,7 +215,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 MetricsSnapshot MetricsRegistry::delta_snapshot() {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {

@@ -27,12 +27,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/obs.h"
+#include "util/thread_annotations.h"
 
 namespace mecra::obs {
 
@@ -209,23 +209,24 @@ class MetricsRegistry {
 
   /// Returns the counter registered under `name`, creating it on first
   /// use. The reference stays valid for the registry's lifetime.
-  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Counter& counter(std::string_view name) MECRA_EXCLUDES(mutex_);
 
   /// Returns the gauge registered under `name`, creating it on first use.
-  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name) MECRA_EXCLUDES(mutex_);
 
   /// Returns the histogram registered under `name`, creating it with
   /// `bounds` (default: Histogram::default_latency_bounds()) on first
   /// use. Bounds of an existing histogram are NOT changed.
   [[nodiscard]] Histogram& histogram(std::string_view name,
-                                     std::vector<double> bounds = {});
+                                     std::vector<double> bounds = {})
+      MECRA_EXCLUDES(mutex_);
 
   /// Zeroes every instrument's value but keeps all registrations (the
   /// between-epochs reset the simulators use).
-  void reset();
+  void reset() MECRA_EXCLUDES(mutex_);
 
   /// Merged view of every instrument, sorted by name.
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const MECRA_EXCLUDES(mutex_);
 
   /// Like snapshot(), but counter values and histogram bucket counts /
   /// count / sum are DELTAS since the previous delta_snapshot() call (the
@@ -239,16 +240,23 @@ class MetricsRegistry {
   /// clamps at zero instead of underflowing. This is the scrape the
   /// simulators use to report per-epoch time series (see
   /// sim::DynamicEpoch).
-  [[nodiscard]] MetricsSnapshot delta_snapshot();
+  [[nodiscard]] MetricsSnapshot delta_snapshot() MECRA_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Guards the instrument maps (registration + scrape); the instruments
+  /// themselves record lock-free through their own atomic shards.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MECRA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      MECRA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      MECRA_GUARDED_BY(mutex_);
   /// delta_snapshot() baselines: last-scraped cumulative values.
-  std::map<std::string, std::uint64_t, std::less<>> counter_baseline_;
-  std::map<std::string, Histogram::Snapshot, std::less<>> histogram_baseline_;
+  std::map<std::string, std::uint64_t, std::less<>> counter_baseline_
+      MECRA_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram::Snapshot, std::less<>> histogram_baseline_
+      MECRA_GUARDED_BY(mutex_);
 };
 
 }  // namespace mecra::obs

@@ -38,7 +38,7 @@ TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
 }
 
 void TraceRing::push(SpanEvent event) {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   ++total_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
@@ -49,7 +49,7 @@ void TraceRing::push(SpanEvent event) {
 }
 
 std::vector<SpanEvent> TraceRing::snapshot() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   std::vector<SpanEvent> out;
   out.reserve(ring_.size());
   // Oldest-first: once saturated, `next_` points at the oldest slot.
@@ -60,17 +60,17 @@ std::vector<SpanEvent> TraceRing::snapshot() const {
 }
 
 std::uint64_t TraceRing::total_recorded() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return total_;
 }
 
 std::uint64_t TraceRing::dropped() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return total_ - ring_.size();
 }
 
 void TraceRing::clear() {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   ring_.clear();
   next_ = 0;
   total_ = 0;
@@ -78,7 +78,7 @@ void TraceRing::clear() {
 
 void TraceRing::set_capacity(std::size_t capacity) {
   MECRA_CHECK(capacity > 0);
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   ring_.clear();
   next_ = 0;
   total_ = 0;
@@ -102,7 +102,13 @@ TraceSpan::~TraceSpan() {
   if (!active_) return;
   event_.end_ns = now_ns();
   t_current_span = event_.parent;
-  TraceRing::global().push(std::move(event_));
+  // push() allocates under the ring lock; a bad_alloc escaping this
+  // (implicitly noexcept) destructor would terminate the process over a
+  // lost trace span. Telemetry is best-effort: drop the span instead.
+  try {
+    TraceRing::global().push(std::move(event_));
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
 }
 
 void TraceSpan::attr(std::string_view key, double value) {
@@ -119,7 +125,12 @@ std::vector<SpanEvent> top_spans(std::vector<SpanEvent> events,
               if (a.duration_ns() != b.duration_ns()) {
                 return a.duration_ns() > b.duration_ns();
               }
-              return a.start_ns < b.start_ns;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              // Ids are unique, so the comparator is a total order:
+              // without this, spans tying on (duration, start) — common
+              // for coarse clocks — land in std::sort's
+              // implementation-defined order and reports diff run-to-run.
+              return a.id < b.id;
             });
   if (events.size() > n) events.resize(n);
   return events;

@@ -24,12 +24,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/obs.h"
+#include "util/thread_annotations.h"
 
 namespace mecra::obs {
 
@@ -61,28 +61,29 @@ class TraceRing {
   explicit TraceRing(std::size_t capacity = 4096);
 
   /// Appends a completed span, overwriting the oldest when full.
-  void push(SpanEvent event);
+  void push(SpanEvent event) MECRA_EXCLUDES(mutex_);
 
   /// Completed spans in completion order (oldest surviving first).
-  [[nodiscard]] std::vector<SpanEvent> snapshot() const;
+  [[nodiscard]] std::vector<SpanEvent> snapshot() const MECRA_EXCLUDES(mutex_);
 
   /// Spans ever pushed (including overwritten ones).
-  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::uint64_t total_recorded() const MECRA_EXCLUDES(mutex_);
   /// Spans lost to overwriting: total_recorded() - (spans still held).
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t dropped() const MECRA_EXCLUDES(mutex_);
 
   /// Discards all held spans and zeroes the recorded/dropped counters.
-  void clear();
+  void clear() MECRA_EXCLUDES(mutex_);
 
   /// Discards held spans and resizes the ring (epoch boundaries only).
-  void set_capacity(std::size_t capacity);
+  void set_capacity(std::size_t capacity) MECRA_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<SpanEvent> ring_;
-  std::size_t capacity_;
-  std::size_t next_ = 0;          // ring_ write cursor once saturated
-  std::uint64_t total_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<SpanEvent> ring_ MECRA_GUARDED_BY(mutex_);
+  std::size_t capacity_ MECRA_GUARDED_BY(mutex_);
+  /// ring_ write cursor once saturated.
+  std::size_t next_ MECRA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t total_ MECRA_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII scope measuring one operation; see the file comment for semantics

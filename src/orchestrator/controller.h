@@ -37,6 +37,14 @@
 // a single-threaded run. Whole simulations may still run in parallel, one
 // orchestrator + controller pair each. The obs counters reconcile() emits
 // (controller.*) are safe from any thread.
+//
+// Lock discipline: the controller deliberately owns NO mutex — its
+// tracking tables (tracked_, repair_queue_, metrics_) are driver-thread-
+// only, and the sharded pass shares them with workers exclusively through
+// per-worker copies merged serially after the join (see sharded_pass).
+// Anything that would make these fields cross-thread must move them onto
+// util::Mutex with MECRA_GUARDED_BY (util/thread_annotations.h) so the
+// clang -Wthread-safety build enforces the new protocol.
 #pragma once
 
 #include <cstdint>

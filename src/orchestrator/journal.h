@@ -48,6 +48,13 @@
 // Thread safety: a Journal belongs to the orchestrator's driver thread,
 // like the orchestrator itself. scan_journal/recover are pure functions of
 // the file.
+//
+// Lock discipline: the writer state (out_, next_seq_, wedged_) is
+// intentionally unguarded — appends must stay ordered with the driver's
+// state mutations, so a mutex here could only hide a sequencing bug, never
+// fix one. A future multi-writer design must thread one util::Mutex
+// through append() with MECRA_GUARDED_BY on all three fields
+// (util/thread_annotations.h) so clang's -Wthread-safety build checks it.
 #pragma once
 
 #include <cstdint>

@@ -55,6 +55,9 @@ Orchestrator::DownMask::DownMask(Orchestrator& orch) : orch_(orch) {
   }
 }
 
+// NOLINTNEXTLINE(bugprone-exception-escape): release() MECRA_CHECKs its
+// invariants; swallowing a failure here would leave masked capacity
+// permanently consumed — corrupt residuals. Terminating loudly is correct.
 Orchestrator::DownMask::~DownMask() {
   for (const auto& [v, amount] : held_) orch_.network_.release(v, amount);
 }
@@ -348,7 +351,7 @@ std::vector<std::optional<ServiceId>> Orchestrator::admit_batch(
   // fallback lock.
   std::size_t fallback_attempts = 0;
   {
-    const std::lock_guard<std::mutex> lock(batch_mutex_);
+    const util::LockGuard lock(batch_mutex_);
     const std::uint64_t fallback_salt =
         util::derive_seed(batch_salt, 0x0fa11bacULL);
     for (std::size_t i = 0; i < requests.size(); ++i) {

@@ -54,7 +54,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
@@ -65,6 +64,7 @@
 #include "mec/shard_map.h"
 #include "mec/vnf.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace mecra::orchestrator {
@@ -356,8 +356,13 @@ class Orchestrator {
   // --- sharded batch engine state (lazy; see admit_batch) ---
   std::unique_ptr<mec::ShardMap> shard_map_;
   std::unique_ptr<util::ThreadPool> pool_;
-  /// Serializes the border/fallback pass (the "fallback lock").
-  std::mutex batch_mutex_;
+  /// Serializes the border/fallback pass (the "fallback lock"): whole-
+  /// network admission for requests the shard-confined phase could not
+  /// place. It cannot GUARD `network_` — workers legitimately write
+  /// shard-disjoint residuals without it — so the protected region is the
+  /// pass itself, not a field; shard ownership plus the border-debit audit
+  /// carry the rest of the proof (see the class comment).
+  util::Mutex batch_mutex_;
   /// Per-node atomic debit counters, allocated for the whole node range;
   /// only border-cloudlet slots are ever written. After the parallel
   /// phase, residual(v) must equal its pre-batch snapshot minus this

@@ -14,7 +14,7 @@ FaultRegistry& FaultRegistry::global() {
 void FaultRegistry::arm(const std::string& site, FaultSpec spec) {
   MECRA_CHECK_MSG(!site.empty(), "fault site name must be non-empty");
   MECRA_CHECK(spec.probability >= 0.0 && spec.probability <= 1.0);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   Site& s = sites_[site];
   if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
   s.spec = spec;
@@ -24,7 +24,7 @@ void FaultRegistry::arm(const std::string& site, FaultSpec spec) {
 }
 
 void FaultRegistry::disarm(const std::string& site) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = sites_.find(site);
   if (it == sites_.end() || !it->second.armed) return;
   it->second.armed = false;
@@ -32,14 +32,14 @@ void FaultRegistry::disarm(const std::string& site) {
 }
 
 void FaultRegistry::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   sites_.clear();
   armed_count_.store(0, std::memory_order_relaxed);
   total_fired_.store(0, std::memory_order_relaxed);
 }
 
 void FaultRegistry::reseed(std::uint64_t seed) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   rng_ = Rng(seed);
 }
 
@@ -98,7 +98,7 @@ bool FaultRegistry::should_fire(std::string_view site) {
     arm_from_env();
     if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = sites_.find(site);
   if (it == sites_.end() || !it->second.armed) return false;
   Site& s = it->second;
@@ -114,13 +114,13 @@ bool FaultRegistry::should_fire(std::string_view site) {
 }
 
 std::uint64_t FaultRegistry::hits(const std::string& site) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t FaultRegistry::fired(const std::string& site) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fires;
 }

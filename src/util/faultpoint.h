@@ -31,12 +31,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace mecra::util {
 
@@ -65,28 +65,30 @@ class FaultRegistry {
   [[nodiscard]] static FaultRegistry& global();
 
   /// Arms (or re-arms, resetting counters) the named site.
-  void arm(const std::string& site, FaultSpec spec = {});
-  void disarm(const std::string& site);
+  void arm(const std::string& site, FaultSpec spec = {}) MECRA_EXCLUDES(mutex_);
+  void disarm(const std::string& site) MECRA_EXCLUDES(mutex_);
   /// Disarms everything and zeroes all counters (test teardown).
-  void clear();
+  void clear() MECRA_EXCLUDES(mutex_);
 
   /// Reseeds the probability stream (deterministic firing sequences).
-  void reseed(std::uint64_t seed);
+  void reseed(std::uint64_t seed) MECRA_EXCLUDES(mutex_);
 
   /// Parses and arms from a MECRA_FAULTS-style spec string:
   /// comma-separated `site[:skip=N][:times=N][:prob=P]` entries.
-  void arm_from_spec(const std::string& spec);
+  void arm_from_spec(const std::string& spec) MECRA_EXCLUDES(mutex_);
   /// arm_from_spec(getenv("MECRA_FAULTS")); called once per process by the
   /// first should_fire() hit, so env arming needs no code changes.
-  void arm_from_env();
+  void arm_from_env() MECRA_EXCLUDES(mutex_);
 
   /// One hit at the named site; true when the site should fail now.
-  [[nodiscard]] bool should_fire(std::string_view site);
+  [[nodiscard]] bool should_fire(std::string_view site) MECRA_EXCLUDES(mutex_);
 
   /// Total hits / firings recorded for a site since arming (0 if never
   /// armed; counters survive disarm until clear()).
-  [[nodiscard]] std::uint64_t hits(const std::string& site) const;
-  [[nodiscard]] std::uint64_t fired(const std::string& site) const;
+  [[nodiscard]] std::uint64_t hits(const std::string& site) const
+      MECRA_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t fired(const std::string& site) const
+      MECRA_EXCLUDES(mutex_);
   /// Firings across all sites (mirrors the obs `fault.injected` counter
   /// maintained by the firing sites themselves — util cannot depend on obs).
   [[nodiscard]] std::uint64_t total_fired() const;
@@ -101,11 +103,12 @@ class FaultRegistry {
     std::uint64_t fires = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Site, std::less<>> sites_;
+  mutable Mutex mutex_;
+  std::map<std::string, Site, std::less<>> sites_ MECRA_GUARDED_BY(mutex_);
+  /// Lock-free fast-path gates; mutated under mutex_ but read without it.
   std::atomic<std::size_t> armed_count_{0};
   std::atomic<std::uint64_t> total_fired_{0};
-  Rng rng_{0xfa017ULL};
+  Rng rng_ MECRA_GUARDED_BY(mutex_){0xfa017ULL};
   std::atomic<bool> env_checked_{false};
 };
 

@@ -1,0 +1,151 @@
+// Clang Thread Safety Analysis annotations and the annotated lock types
+// every component in this repo uses.
+//
+// The macros expand to Clang's `capability` attribute family so that a
+// Clang build with -Wthread-safety (CI's static-analysis job compiles with
+// -Werror=thread-safety) proves lock discipline at COMPILE TIME: every
+// mutable field annotated MECRA_GUARDED_BY(mu) may only be touched while
+// `mu` is held, and every function annotated MECRA_REQUIRES(mu) may only
+// be called with `mu` held. On non-Clang compilers (the default gcc build)
+// every macro expands to nothing, so the annotations are free.
+//
+// Repo rule (enforced by tools/lint_determinism.py, rule `bare-mutex`):
+// production code under src/ never names std::mutex / std::lock_guard /
+// std::unique_lock / std::scoped_lock / std::condition_variable directly —
+// it uses util::Mutex, util::LockGuard, and util::CondVar from this header,
+// because the std types carry no capability attributes and silently opt
+// out of the analysis. Tests and benches may use the std types.
+//
+// Annotation conventions (see ARCHITECTURE.md "Static analysis & lock
+// discipline"):
+//   * a private `mutable Mutex mutex_;` member is the capability;
+//   * every field it protects is marked MECRA_GUARDED_BY(mutex_) right in
+//     the class definition — the header IS the locking documentation;
+//   * public entry points that take the lock themselves are marked
+//     MECRA_EXCLUDES(mutex_) so re-entry deadlocks are compile errors;
+//   * helpers that expect the caller to hold the lock are marked
+//     MECRA_REQUIRES(mutex_) instead of re-locking.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define MECRA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MECRA_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability; `x` is the name diagnostics use
+/// (e.g. MECRA_CAPABILITY("mutex")).
+#define MECRA_CAPABILITY(x) MECRA_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (util::LockGuard below).
+#define MECRA_SCOPED_CAPABILITY MECRA_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define MECRA_GUARDED_BY(x) MECRA_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose POINTEE is protected by `x` (the pointer itself is
+/// not).
+#define MECRA_PT_GUARDED_BY(x) MECRA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define MECRA_REQUIRES(...) \
+  MECRA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define MECRA_ACQUIRE(...) \
+  MECRA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (which must be held on entry).
+#define MECRA_RELEASE(...) \
+  MECRA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when it returns the first
+/// argument (e.g. MECRA_TRY_ACQUIRE(true) on a try_lock).
+#define MECRA_TRY_ACQUIRE(...) \
+  MECRA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (it will
+/// acquire them itself; calling it while holding one is a self-deadlock).
+#define MECRA_EXCLUDES(...) MECRA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis to
+/// trust it from here on).
+#define MECRA_ASSERT_CAPABILITY(x) \
+  MECRA_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the capability that guards its result.
+#define MECRA_RETURN_CAPABILITY(x) MECRA_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the analysis cannot see the invariant.
+#define MECRA_NO_THREAD_SAFETY_ANALYSIS \
+  MECRA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace mecra::util {
+
+/// std::mutex with the `capability` attribute, so fields can be declared
+/// MECRA_GUARDED_BY(mutex_) and functions MECRA_REQUIRES(mutex_).
+/// Prefer util::LockGuard over calling lock()/unlock() manually.
+class MECRA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MECRA_ACQUIRE() { m_.lock(); }
+  void unlock() MECRA_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() MECRA_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII scoped lock over util::Mutex (the std::lock_guard/std::scoped_lock
+/// replacement). Declared a scoped capability so the analysis tracks the
+/// guarded region.
+class MECRA_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) MECRA_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() MECRA_RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with util::Mutex. Built on
+/// std::condition_variable_any, which waits on any BasicLockable — the
+/// annotated Mutex qualifies — so waiters keep full thread-safety analysis
+/// of the predicate they re-check under the lock (write the wait loop
+/// explicitly; a predicate lambda would hide the guarded reads from the
+/// analysis).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mutex`, blocks until notified, and reacquires it
+  /// before returning. Spurious wakeups happen; callers loop on their
+  /// predicate: `while (!ready_) cv_.wait(mutex_);`
+  void wait(Mutex& mutex) MECRA_REQUIRES(mutex) { cv_.wait(mutex); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace mecra::util

@@ -20,7 +20,7 @@ ThreadPool::~ThreadPool() { stop(); }
 
 void ThreadPool::stop() {
   {
-    std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -30,7 +30,7 @@ void ThreadPool::stop() {
 }
 
 bool ThreadPool::stopped() const {
-  std::lock_guard lock(mutex_);
+  const LockGuard lock(mutex_);
   return stopping_;
 }
 
@@ -38,7 +38,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
-    std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     MECRA_CHECK_MSG(!stopping_, "submit() on a stopped ThreadPool");
     queue_.push_back(std::move(packaged));
   }
@@ -50,8 +50,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const LockGuard lock(mutex_);
+      // Explicit wait loop instead of the predicate-lambda overload: the
+      // lambda body would read `stopping_`/`queue_` from a context the
+      // thread-safety analysis cannot connect to the held lock.
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

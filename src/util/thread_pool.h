@@ -4,15 +4,15 @@
 // stream, so parallel and serial executions are bit-identical.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace mecra::util {
 
@@ -32,14 +32,14 @@ class ThreadPool {
   /// Fails fast (throws util::CheckFailure) once stop() has begun — a
   /// task submitted to a stopping pool would never run, and a silently
   /// dropped future deadlocks its waiter.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) MECRA_EXCLUDES(mutex_);
 
   /// Drains the queue and joins every worker. Idempotent; called by the
   /// destructor. Already-queued tasks still run; new submits throw.
-  void stop();
+  void stop() MECRA_EXCLUDES(mutex_);
 
   /// True once stop() has begun (further submits will throw).
-  [[nodiscard]] bool stopped() const;
+  [[nodiscard]] bool stopped() const MECRA_EXCLUDES(mutex_);
 
   /// Runs fn(i) for every i in [0, n), distributing contiguous blocks across
   /// the pool and blocking until all complete. The first exception thrown by
@@ -48,13 +48,15 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop() MECRA_EXCLUDES(mutex_);
 
+  /// Written only by the constructor and joined by stop(); never touched
+  /// by workers, so it needs no lock.
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  std::deque<std::packaged_task<void()>> queue_ MECRA_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stopping_ MECRA_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for i in [0, n) on a temporary pool when `threads != 1`, or

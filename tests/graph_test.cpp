@@ -216,6 +216,28 @@ TEST(Mst, SpanningTreeOfSquareWithDiagonal) {
   EXPECT_DOUBLE_EQ(total, 4.0);
 }
 
+TEST(Mst, EqualWeightForestIsInvariantUnderInputPermutation) {
+  // Hop metrics weigh every edge 1.0, so weight ties are the COMMON case.
+  // Kruskal takes whichever ties sort first; the comparator's (u, v)
+  // tie-break makes the forest a pure function of the edge SET — the
+  // order the caller assembled the list in must not change the result.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < 5; ++v) {
+      edges.push_back({u, v, 1.0});
+    }
+  }
+  const auto baseline = minimum_spanning_forest(5, edges);
+  ASSERT_EQ(baseline.size(), 4u);
+  const std::vector<Edge> reversed(edges.rbegin(), edges.rend());
+  const auto permuted = minimum_spanning_forest(5, reversed);
+  ASSERT_EQ(permuted.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(permuted[i].u, baseline[i].u);
+    EXPECT_EQ(permuted[i].v, baseline[i].v);
+  }
+}
+
 TEST(Mst, ForestOnDisconnectedInput) {
   std::vector<Edge> edges{{0, 1, 1.0}, {2, 3, 1.0}};
   const auto f = minimum_spanning_forest(4, edges);

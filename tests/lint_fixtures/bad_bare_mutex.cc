@@ -1,0 +1,20 @@
+// Fixture: bare std lock primitives in src/-scoped code. The std types
+// carry no capability attributes, so clang's -Wthread-safety analysis
+// cannot see them — every lock must go through util/thread_annotations.h.
+#include <mutex>  // expect(bare-mutex)
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    const std::lock_guard<std::mutex> lock(mutex_);  // expect(bare-mutex) expect(bare-mutex)
+    ++count_;
+  }
+
+ private:
+  std::mutex mutex_;  // expect(bare-mutex)
+  long count_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: accumulating inside an unordered iteration escalates to
+// fp-accum-order — FP addition is not associative, so hash order changes
+// the resulting bits. std::accumulate over unordered iterators is the
+// same hazard spelled differently.
+#include <numeric>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+inline double total_load(
+    const std::unordered_map<std::string, double>& loads) {
+  double sum = 0.0;
+  for (const auto& [id, value] : loads) {  // expect(unordered-iter)
+    sum += value;  // expect(fp-accum-order)
+  }
+  return sum;
+}
+
+inline double fold(const std::unordered_map<int, double>& weights) {
+  // Both findings land on the accumulate line: .begin() is an iteration
+  // site, and the fold follows hash order.
+  return std::accumulate(weights.begin(), weights.end(), 0.0,  // expect(unordered-iter) expect(fp-accum-order)
+                         [](double acc, const auto& kv) {
+                           return acc + kv.second;
+                         });
+}
+
+}  // namespace fixture

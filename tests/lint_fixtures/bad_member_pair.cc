@@ -1,0 +1,16 @@
+// Fixture (.cpp half): iterating a member whose unordered declaration
+// lives in the paired header must still be flagged — the linter resolves
+// member declarations across a file's own .h/.cpp pair.
+#include "bad_member_pair.h"
+
+namespace fixture {
+
+double ResidualTable::min_residual() const {
+  double worst = 1e300;
+  for (const auto& [id, value] : residuals_) {  // expect(unordered-iter)
+    if (value < worst) worst = value;
+  }
+  return worst;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture (header half of the .h/.cpp pair test): declares an unordered
+// member that bad_member_pair.cc iterates. The declaration alone is fine
+// — this header must lint clean.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class ResidualTable {
+ public:
+  double min_residual() const;
+
+ private:
+  std::unordered_map<std::string, double> residuals_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: ordered containers keyed by pointers iterate in
+// allocation-address order — a different run (or ASLR seed) reorders
+// them. Pointer VALUES are fine; only the key position is flagged.
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+struct Registry {
+  std::map<const Node*, int> rank_;       // expect(ptr-key)
+  std::set<Node*> live_;                  // expect(ptr-key)
+  std::map<std::string, Node*> by_name_;  // ok: the KEY is stable
+};
+
+}  // namespace fixture

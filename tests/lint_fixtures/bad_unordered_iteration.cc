@@ -1,0 +1,35 @@
+// Fixture: iteration over unordered containers must be flagged, whether
+// by range-for over a member, range-for over a parameter, or explicit
+// iterator construction. Lookups in good_clean.cc stay silent.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Exporter {
+  std::unordered_map<std::string, double> residuals_;
+
+  double worst() const {
+    double worst = 1e300;
+    for (const auto& [id, value] : residuals_) {  // expect(unordered-iter)
+      if (value < worst) worst = value;
+    }
+    return worst;
+  }
+};
+
+inline int count_big(const std::unordered_set<int>& ids) {
+  int n = 0;
+  for (int id : ids) {  // expect(unordered-iter)
+    if (id > 100) ++n;
+  }
+  return n;
+}
+
+inline std::vector<int> snapshot_ids(const std::unordered_set<int>& pool) {
+  return std::vector<int>(pool.begin(), pool.end());  // expect(unordered-iter)
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture: entropy and wall-clock sources that break seeded replay.
+// steady_clock is allowed (durations only, never feeds committed state);
+// bench/good_random_in_bench.cc pins the bench/ path exemption.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline unsigned jitter_seed() {
+  std::random_device rd;  // expect(unseeded-random)
+  return rd();
+}
+
+inline int pick(int n) {
+  return rand() % n;  // expect(unseeded-random)
+}
+
+inline void reseed() {
+  srand(static_cast<unsigned>(time(nullptr)));  // expect(unseeded-random) expect(unseeded-random)
+}
+
+inline long long stamp() {
+  auto now = std::chrono::system_clock::now();  // expect(unseeded-random)
+  return now.time_since_epoch().count();
+}
+
+inline long long elapsed_ok() {
+  // Allowed: steady_clock measures durations; it cannot leak wall time
+  // into algorithm decisions.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: suppressions cannot outlive the code they excuse. An allow()
+// that matches nothing on its own line or the next is itself a finding,
+// and so is one naming an unknown rule.
+#include <vector>
+
+namespace fixture {
+
+// lint-determinism: allow(unordered-iter) stale: loop below was rewritten onto std::map long ago expect(unused-allow)
+inline int sum(const std::vector<int>& v) {
+  int total = 0;
+  for (int x : v) total += x;
+  return total;
+}
+
+// lint-determinism: allow(no-such-rule) typo in the rule name expect(unused-allow)
+inline int one() { return 1; }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: the bench/ path exemption for unseeded-random. Timing
+// harnesses may use wall clocks and cheap entropy; they never feed
+// committed state. (bare-mutex and the order rules still apply — only
+// the random rule is path-exempt.)
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+inline int jitter() { return rand() % 7; }
+
+inline long long wall_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: the allow() escape hatch. A suppression covers its own line
+// and the line directly below, must name the rule, and must carry a
+// rationale. Both placements are exercised here; stale suppressions are
+// covered by bad_unused_allow.cc.
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+inline std::vector<std::string> sorted_keys(
+    const std::unordered_map<std::string, int>& m) {
+  std::vector<std::string> keys;
+  keys.reserve(m.size());
+  // lint-determinism: allow(unordered-iter) keys are sorted before use
+  for (const auto& [key, value] : m) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+inline std::size_t live_entries(const std::unordered_map<int, bool>& m) {
+  std::size_t n = 0;
+  for (const auto& kv : m) n += kv.second ? 1 : 0;  // lint-determinism: allow(unordered-iter,fp-accum-order) integer count is order-free
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture: the known-good idioms the linter must stay silent on —
+// unordered LOOKUPS (find / count / operator[] / end() comparisons),
+// iteration over std::map (stable key order), steady_clock durations,
+// and rule tokens appearing only inside comments or string literals.
+#include <chrono>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Cache {
+  std::unordered_map<std::string, double> by_id_;
+
+  // Lookup-only access never leaks hash order. (Mentioning std::mutex or
+  // rand() in a comment must not trip the linter either.)
+  double lookup(const std::string& id) const {
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? 0.0 : it->second;
+  }
+
+  bool known(const std::string& id) const { return by_id_.count(id) > 0; }
+};
+
+inline double sum_sorted(const std::map<std::string, double>& m) {
+  double sum = 0.0;
+  for (const auto& [key, value] : m) sum += value;
+  return sum;
+}
+
+inline long long elapsed() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+inline const char* doc() {
+  return "call srand(time(nullptr)) is exactly what NOT to do";
+}
+
+}  // namespace fixture

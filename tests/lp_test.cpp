@@ -34,6 +34,25 @@ TEST(Model, MergesDuplicateTermsAndDropsZeros) {
   EXPECT_DOUBLE_EQ(c.terms[0].coeff, 3.0);
 }
 
+TEST(Model, DuplicateTermsMergeInInputOrderBitForBit) {
+  // Duplicate-var coefficients merge with an FP `+=` fold, and addition
+  // is not associative: 1e16 absorbs a lone +1.0 (ulp there is 2.0) but
+  // not +2.0. add_constraint sorts with stable_sort, so the fold must
+  // follow the CALLER'S term order — the two inputs below hold the same
+  // multiset of terms yet must produce different exact coefficients.
+  Model m;
+  const VarId x = m.add_variable(0, 10, 1);
+  m.add_constraint({{x, 1e16}, {x, 1.0}, {x, 1.0}}, Relation::kLessEqual, 1.0);
+  const auto& head_first = m.constraint(0);
+  ASSERT_EQ(head_first.terms.size(), 1u);
+  EXPECT_EQ(head_first.terms[0].coeff, (1e16 + 1.0) + 1.0);  // == 1e16
+
+  m.add_constraint({{x, 1.0}, {x, 1.0}, {x, 1e16}}, Relation::kLessEqual, 1.0);
+  const auto& head_last = m.constraint(1);
+  ASSERT_EQ(head_last.terms.size(), 1u);
+  EXPECT_EQ(head_last.terms[0].coeff, (1.0 + 1.0) + 1e16);  // == 1e16 + 2
+}
+
 TEST(Model, RejectsBadInputs) {
   Model m;
   EXPECT_THROW((void)m.add_variable(1.0, 0.0, 0.0), util::CheckFailure);

@@ -178,6 +178,27 @@ TEST_F(ObsTest, TopSpansOrdersByDuration) {
   EXPECT_EQ(top[1].name, "mid");
 }
 
+TEST_F(ObsTest, TopSpansTieBreaksOnIdForATotalOrder) {
+  // Spans tying on (duration, start) are the normal case under a coarse
+  // clock; they must come out in id order regardless of input order, not
+  // in std::sort's implementation-defined tie order (which would make
+  // span reports diff run-to-run).
+  const std::uint64_t shuffled_ids[] = {42, 7, 99, 13};
+  std::vector<SpanEvent> events(4);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].id = shuffled_ids[i];
+    events[i].name = "tied";
+    events[i].start_ns = 100;
+    events[i].end_ns = 200;
+  }
+  const auto top = top_spans(events, 4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].id, 7u);
+  EXPECT_EQ(top[1].id, 13u);
+  EXPECT_EQ(top[2].id, 42u);
+  EXPECT_EQ(top[3].id, 99u);
+}
+
 // ----------------------------------------------------------------- epochs
 
 TEST_F(ObsTest, RegistryResetBetweenEpochsKeepsRegistrations) {
