@@ -1,0 +1,326 @@
+// Machine-readable streaming-admission throughput snapshot (streaming
+// service PR).
+//
+// Drives a 1M-request open-loop Poisson trace (sim/stream_driver.h)
+// through orchestrator::StreamingService two ways:
+//
+//   * "serial"    — sim::run_stream_serial: the classic pre-streaming
+//     loop. Every event is served inline, one at a time — a fresh
+//     Orchestrator::admit (l-hop BFS per chain position) or teardown per
+//     event, plus controller bookkeeping.
+//   * "pipelined" — orchestrator::StreamingService with pipelined commit
+//     at 1/2/4/8 shard worker threads: windowed admit_batch over the
+//     ShardMap neighbourhood cache on the pipeline thread while the
+//     previous window's commit (metrics, SLO scrape, callbacks) drains on
+//     the commit thread.
+//
+// Reported rps counts DECIDED admission candidates (arrivals + re-admits)
+// per wall second. p50/p99 for streaming runs are submit->commit queue
+// latencies (stream.admit_latency_seconds); for the serial baseline they
+// are per-call decision times (there is no queue to wait in) — compare
+// within a column, not across the two meanings. The streaming determinism
+// contract is self-checked: every STREAMING configuration must end with
+// identical admitted/rejected counts, live-service count, and total
+// residual capacity — a run that diverges writes "determinism_ok": false
+// and exits non-zero. (The serial baseline legitimately decides
+// differently: per-request admit is a different algorithm.)
+//
+// Flags:
+//   --out <path>            output path (default BENCH_stream.json)
+//   --quick                 ~20k-request trace, fewer reps (CI mode)
+//   --reps <n>              override repetitions per configuration
+//   --arrivals <n>          override the target trace length
+//   --rate <r>              base arrival rate in req/s (default 40); the
+//                           horizon scales so the trace length stays at
+//                           --arrivals — use for arrival-rate sweeps
+//   --profile <p>           constant | burst | diurnal (default constant);
+//                           burst/diurnal traces thin from the same peak-
+//                           rate candidate stream (EXPERIMENTS.md)
+//   --window <w>            admission window width in seconds (default 3)
+//   --check-against <path>  compare against a committed snapshot and exit
+//                           non-zero if any thread count's
+//                           serial-normalized throughput
+//                           (pipelined_rps / serial_rps, host speed
+//                           cancels) fell by more than --regression-factor
+//   --regression-factor <x> regression threshold (default 2.0)
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+#include "sim/stream_driver.h"
+#include "sim/workload.h"
+#include "util/cli.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace mecra;
+
+struct Measure {
+  double median_rps = 0.0;
+  double p50_ms_median = 0.0;
+  double p99_ms_median = 0.0;
+  double wall_s_median = 0.0;
+  sim::StreamMetrics last;  ///< final-state fields for the fingerprint
+};
+
+sim::Scenario scenario_for(std::size_t num_aps) {
+  sim::ScenarioParams params;
+  params.num_aps = num_aps;
+  params.request.chain_length_low = 4;
+  params.request.chain_length_high = 4;
+  params.residual_fraction = 0.6;
+  util::Rng rng(0x57EA4 + num_aps);
+  auto s = sim::make_scenario(params, rng);
+  MECRA_CHECK(s.has_value());
+  return std::move(*s);
+}
+
+Measure measure(const sim::Scenario& s, const sim::StreamConfig& config,
+                std::size_t reps, bool serial_baseline) {
+  std::vector<double> rps;
+  std::vector<double> p50_ms;
+  std::vector<double> p99_ms;
+  std::vector<double> wall_s;
+  Measure m;
+  for (std::size_t r = 0; r < reps; ++r) {
+    m.last = serial_baseline
+                 ? sim::run_stream_serial(s.network, s.catalog, config, 7)
+                 : sim::run_stream(s.network, s.catalog, config, 7);
+    rps.push_back(m.last.requests_per_second);
+    p50_ms.push_back(m.last.p50_latency_seconds * 1e3);
+    p99_ms.push_back(m.last.p99_latency_seconds * 1e3);
+    wall_s.push_back(m.last.wall_seconds);
+  }
+  m.median_rps = util::quantile(rps, 0.5);
+  m.p50_ms_median = util::quantile(p50_ms, 0.5);
+  m.p99_ms_median = util::quantile(p99_ms, 0.5);
+  m.wall_s_median = util::quantile(wall_s, 0.5);
+  return m;
+}
+
+void fill(io::JsonObject& o, const Measure& m) {
+  o.set("median_rps", m.median_rps);
+  o.set("p50_ms_median", m.p50_ms_median);
+  o.set("p99_ms_median", m.p99_ms_median);
+  o.set("wall_s_median", m.wall_s_median);
+}
+
+/// The world-state fields every configuration must agree on (the
+/// determinism contract: same seed + same window schedule => identical
+/// trace at any thread count, pipelined or not).
+bool same_world(const sim::StreamMetrics& a, const sim::StreamMetrics& b) {
+  return a.generated == b.generated && a.arrivals == b.arrivals &&
+         a.admitted == b.admitted && a.rejected == b.rejected &&
+         a.departed == b.departed && a.readmits == b.readmits &&
+         a.live_services == b.live_services &&
+         a.final_total_residual == b.final_total_residual;  // exact
+}
+
+int check_against(const io::Json& fresh, const std::string& path,
+                  double factor) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "check-against: cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const io::Json committed = io::Json::parse(buf.str());
+
+  // Compare SERIAL-NORMALIZED pipelined throughput (pipelined_rps /
+  // serial_rps): both run in the same process on the same machine, so
+  // host speed cancels and the committed snapshot stays comparable on any
+  // runner. A true 2x engine regression halves the ratio exactly.
+  const auto ratios = [](const io::JsonObject& scenario_obj) {
+    const double serial = scenario_obj.at("serial")
+                              .as_object()
+                              .at("median_rps")
+                              .as_double();
+    std::vector<std::pair<std::int64_t, double>> out;
+    for (const auto& run : scenario_obj.at("pipelined").as_array()) {
+      const auto& obj = run.as_object();
+      out.emplace_back(obj.at("threads").as_int(),
+                       serial > 0.0
+                           ? obj.at("median_rps").as_double() / serial
+                           : 0.0);
+    }
+    return out;
+  };
+
+  int failures = 0;
+  const auto& committed_runs =
+      committed.as_object().at("scenarios").as_array();
+  const auto& fresh_runs = fresh.as_object().at("scenarios").as_array();
+  for (const auto& committed_run : committed_runs) {
+    const auto& cobj = committed_run.as_object();
+    const std::string& key = cobj.at("key").as_string();
+    const io::JsonObject* fobj = nullptr;
+    for (const auto& fr : fresh_runs) {
+      if (fr.as_object().at("key").as_string() == key) {
+        fobj = &fr.as_object();
+        break;
+      }
+    }
+    if (fobj == nullptr) continue;  // quick mode measures a subset
+    for (const auto& [threads, committed_ratio] : ratios(cobj)) {
+      for (const auto& [fresh_threads, fresh_ratio] : ratios(*fobj)) {
+        if (fresh_threads != threads) continue;
+        const bool regressed = fresh_ratio * factor < committed_ratio;
+        std::cout << (regressed ? "REGRESSED " : "ok        ") << key << "/t"
+                  << threads << "  committed pipelined/serial="
+                  << committed_ratio << " fresh=" << fresh_ratio << "\n";
+        failures += regressed ? 1 : 0;
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const bool quick = args.get_bool("quick", false);
+  const std::size_t reps =
+      static_cast<std::size_t>(args.get_int("reps", 3));
+  const std::size_t target_arrivals = static_cast<std::size_t>(
+      args.get_int("arrivals", quick ? 20000 : 1000000));
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+
+  // The open-loop trace: 40/s Poisson arrivals with 1s mean holding put
+  // the steady-state live-service count (~lambda * holding = 40) right at
+  // the aps400 network's capacity (~36 live), so every window does real
+  // placement work — admits bounded by the slots its own departures free,
+  // plus a stream of genuine capacity rejections; W=3 makes each window a
+  // ~120-candidate admit_batch, the regime the sharded engine is built
+  // for. The horizon scales to hit the target trace length.
+  sim::StreamConfig base;
+  base.arrival_rate = args.get_double("rate", 40.0);
+  base.horizon =
+      static_cast<double>(target_arrivals) / base.arrival_rate;
+  base.mean_holding_time = 1.0;
+  base.readmit_fraction = 0.1;
+  base.window_width = args.get_double("window", 3.0);
+  const std::string profile = args.get("profile", "constant");
+  if (profile == "burst") {
+    base.profile = sim::RateProfile::kBurst;
+  } else if (profile == "diurnal") {
+    base.profile = sim::RateProfile::kDiurnal;
+  } else {
+    MECRA_CHECK_MSG(profile == "constant",
+                    "--profile must be constant, burst, or diurnal");
+  }
+
+  io::JsonObject root;
+  root.set("schema", "mecra-stream-throughput-v1");
+  root.set("description",
+           "Streaming-admission throughput over an open-loop Poisson "
+           "trace (sim/stream_driver.h): serial = the classic per-event "
+           "admit/teardown loop (sim::run_stream_serial); pipelined = "
+           "orchestrator::StreamingService with epoch-pipelined commit at "
+           "1/2/4/8 shard worker threads. rps counts decided candidates "
+           "(arrivals + re-admits) per wall second; streaming p50/p99 are "
+           "submit->commit latencies, serial p50/p99 are per-call "
+           "decision times. Ratios are serial-normalized, so they "
+           "transfer across machines.");
+  root.set("reps", reps);
+  root.set("target_arrivals", target_arrivals);
+  root.set("profile", profile);
+  root.set("arrival_rate", base.arrival_rate);
+  root.set("window_width", base.window_width);
+  root.set("readmit_fraction", base.readmit_fraction);
+  root.set("mean_holding_time", base.mean_holding_time);
+
+  io::JsonArray scenarios;
+  double speedup_at_4 = 0.0;
+  bool determinism_ok = true;
+  std::cout << "key             config       med rps    p99 ms   speedup\n";
+  {
+    const std::size_t num_aps = 400;
+    const sim::Scenario s = scenario_for(num_aps);
+    const std::string key = "aps" + std::to_string(num_aps);
+
+    const Measure serial = measure(s, base, reps, /*serial_baseline=*/true);
+    std::printf("%-15s %-10s %9.1f %9.3f %8s\n", key.c_str(), "serial",
+                serial.median_rps, serial.p99_ms_median, "1.00x");
+
+    io::JsonObject entry;
+    entry.set("key", key);
+    entry.set("num_aps", num_aps);
+    entry.set("serial", [&] {
+      io::JsonObject o;
+      fill(o, serial);
+      o.set("admitted", serial.last.admitted);
+      return io::Json(std::move(o));
+    }());
+
+    io::JsonArray pipelined_runs;
+    sim::StreamMetrics stream_world;  // first streaming run's final state
+    for (const std::size_t threads : thread_counts) {
+      sim::StreamConfig config = base;
+      config.threads = threads;
+      config.pipelined_commit = true;
+      const Measure pipelined = measure(s, config, reps,
+                                        /*serial_baseline=*/false);
+      const double speedup = serial.median_rps > 0.0
+                                 ? pipelined.median_rps / serial.median_rps
+                                 : 0.0;
+      if (threads == 4) speedup_at_4 = speedup;
+      if (threads == thread_counts.front()) {
+        stream_world = pipelined.last;
+        // The streaming trace's composition (the serial baseline decides
+        // differently; see the file comment).
+        entry.set("generated", stream_world.generated);
+        entry.set("arrivals", stream_world.arrivals);
+        entry.set("admitted", stream_world.admitted);
+        entry.set("rejected", stream_world.rejected);
+        entry.set("departed", stream_world.departed);
+        entry.set("readmits", stream_world.readmits);
+        entry.set("windows", stream_world.windows);
+        entry.set("live_services", stream_world.live_services);
+      } else if (!same_world(pipelined.last, stream_world)) {
+        determinism_ok = false;
+        std::cerr << "DETERMINISM VIOLATION: threads=" << threads
+                  << " diverged from the threads="
+                  << thread_counts.front() << " streaming trace\n";
+      }
+      io::JsonObject run;
+      fill(run, pipelined);
+      run.set("threads", threads);
+      run.set("speedup_vs_serial", speedup);
+      pipelined_runs.push_back(io::Json(std::move(run)));
+      std::printf("%-15s pipeline/%-2zu %9.1f %9.3f %7.2fx\n", key.c_str(),
+                  threads, pipelined.median_rps, pipelined.p99_ms_median,
+                  speedup);
+    }
+    entry.set("pipelined", io::Json(std::move(pipelined_runs)));
+    scenarios.push_back(io::Json(std::move(entry)));
+  }
+  root.set("scenarios", io::Json(std::move(scenarios)));
+
+  io::JsonObject summary;
+  summary.set("speedup_at_4_threads", speedup_at_4);
+  summary.set("determinism_ok", determinism_ok);
+  root.set("summary", io::Json(std::move(summary)));
+
+  const io::Json snapshot(std::move(root));
+  const std::string out_path = args.get("out", "BENCH_stream.json");
+  {
+    std::ofstream out(out_path);
+    MECRA_CHECK_MSG(static_cast<bool>(out), "cannot write output file");
+    out << snapshot.dump(2) << "\n";
+  }
+  std::cout << "\nwrote " << out_path << "\n";
+
+  if (!determinism_ok) return 2;
+  if (args.has("check-against")) {
+    const double factor = args.get_double("regression-factor", 2.0);
+    return check_against(snapshot, args.get("check-against", ""), factor);
+  }
+  return 0;
+}

@@ -94,6 +94,32 @@ void Histogram::observe(double v) noexcept {
   detail::atomic_max(max_, v);
 }
 
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [0, count]; walk buckets and interpolate linearly
+  // inside the one that crosses it (Prometheus histogram_quantile shape).
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  double lower = 0.0;
+  for (std::size_t b = 0; b < bounds.size(); ++b) {
+    const std::uint64_t in_bucket = counts[b];
+    const double reached = static_cast<double>(cumulative + in_bucket);
+    if (in_bucket > 0 && reached >= rank) {
+      const double frac = std::clamp(
+          (rank - static_cast<double>(cumulative)) /
+              static_cast<double>(in_bucket),
+          0.0, 1.0);
+      return lower + frac * (bounds[b] - lower);
+    }
+    cumulative += in_bucket;
+    lower = bounds[b];
+  }
+  // Rank falls in the unbounded overflow bucket: the tightest honest
+  // answer is the lifetime max (an upper bound; see header contract).
+  return max > lower ? max : lower;
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot snap;
   snap.bounds = bounds_;

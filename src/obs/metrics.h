@@ -127,6 +127,16 @@ class Histogram {
     double sum = 0.0;                   ///< sum of observed values
     double min = 0.0;                   ///< 0 when count == 0
     double max = 0.0;                   ///< 0 when count == 0
+
+    /// Estimated q-quantile (q in [0,1], clamped) assuming observations
+    /// are uniform within each bucket (linear interpolation between
+    /// bucket bounds — the classic histogram_quantile estimate). Returns
+    /// 0 for an empty snapshot. When the rank lands in the unbounded
+    /// overflow bucket the estimate is `max`, which for a DELTA snapshot
+    /// is still the lifetime max (per-window extremes are not tracked) —
+    /// an upper bound, not a window statistic. Resolution is bucket
+    /// granularity; with default_latency_bounds() that is a factor of 2.
+    [[nodiscard]] double quantile(double q) const;
   };
 
   /// Records one observation. No-op while observability is disabled.

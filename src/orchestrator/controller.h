@@ -25,7 +25,12 @@
 // merge it with their own event stream.
 //
 // Thread safety: a Controller is owned by ONE driver thread; none of its
-// members may be called concurrently. Internally, though, reconcile()
+// members may be called concurrently. Like the orchestrator it wraps, that
+// driver is the caller's thread in batch programs and the internal
+// pipeline thread of orchestrator::StreamingService in streaming ones —
+// the streaming service routes every on_admit/on_teardown/reconcile call
+// through its window-close path, so external code never calls the
+// controller directly while a stream is running. Internally, reconcile()
 // mirrors the orchestrator's sharded batch model: once the orchestrator
 // has a shard map (admit_batch has run), dirty services that are wholly
 // contained in one shard — every instance in the shard, no running active

@@ -267,8 +267,8 @@ std::uint64_t Journal::append(std::string_view kind, double time,
   return next_seq_++;
 }
 
-std::uint64_t Journal::snapshot(const Orchestrator& orch,
-                                const Controller& controller, double time) {
+io::Json make_snapshot_record(const Orchestrator& orch,
+                              const Controller& controller) {
   io::JsonObject data;
   data.set("network", io::to_json(orch.network()));
   data.set("catalog", io::to_json(orch.catalog()));
@@ -286,20 +286,18 @@ std::uint64_t Journal::snapshot(const Orchestrator& orch,
   data.set("next_instance", io::Json(orch.next_instance_id()));
   data.set("has_shard_map", io::Json(orch.has_shard_map()));
   data.set("controller", controller_state_to_json(controller.state()));
-  return append(kJournalSnapshot, time, io::Json(std::move(data)));
+  return io::Json(std::move(data));
 }
 
-std::uint64_t Journal::admit(const Orchestrator& orch, const Service& svc,
-                             double time) {
+io::Json make_admit_record(const Orchestrator& orch, const Service& svc) {
   io::JsonObject data;
   data.set("service", service_to_json(svc));
   data.set("residuals", touched_residuals(orch.network(), {&svc}));
-  return append(kJournalAdmit, time, io::Json(std::move(data)));
+  return io::Json(std::move(data));
 }
 
-std::uint64_t Journal::batch_commit(
-    const Orchestrator& orch, const std::vector<const Service*>& admitted,
-    double time) {
+io::Json make_batch_record(const Orchestrator& orch,
+                           const std::vector<const Service*>& admitted) {
   io::JsonObject data;
   io::JsonArray services;
   services.reserve(admitted.size());
@@ -313,7 +311,29 @@ std::uint64_t Journal::batch_commit(
   // the same next ids.
   data.set("next_service", io::Json(orch.next_service_id()));
   data.set("next_instance", io::Json(orch.next_instance_id()));
-  return append(kJournalBatch, time, io::Json(std::move(data)));
+  return io::Json(std::move(data));
+}
+
+io::Json make_teardown_record(ServiceId service) {
+  io::JsonObject data;
+  data.set("service", io::Json(service));
+  return io::Json(std::move(data));
+}
+
+std::uint64_t Journal::snapshot(const Orchestrator& orch,
+                                const Controller& controller, double time) {
+  return append(kJournalSnapshot, time, make_snapshot_record(orch, controller));
+}
+
+std::uint64_t Journal::admit(const Orchestrator& orch, const Service& svc,
+                             double time) {
+  return append(kJournalAdmit, time, make_admit_record(orch, svc));
+}
+
+std::uint64_t Journal::batch_commit(
+    const Orchestrator& orch, const std::vector<const Service*>& admitted,
+    double time) {
+  return append(kJournalBatch, time, make_batch_record(orch, admitted));
 }
 
 std::uint64_t Journal::instance_failure(ServiceId service, InstanceId instance,
@@ -337,9 +357,7 @@ std::uint64_t Journal::repair(graph::NodeId v, double time) {
 }
 
 std::uint64_t Journal::teardown(ServiceId service, double time) {
-  io::JsonObject data;
-  data.set("service", io::Json(service));
-  return append(kJournalTeardown, time, io::Json(std::move(data)));
+  return append(kJournalTeardown, time, make_teardown_record(service));
 }
 
 std::uint64_t Journal::reconcile_mark(double time) {

@@ -138,6 +138,30 @@ class Journal {
   bool wedged_ = false;
 };
 
+// --- record payload builders ---
+//
+// Each typed writer above is `append(kind, time, make_*_record(...))`. The
+// builders are exposed separately for the streaming service
+// (orchestrator/streaming.h), whose pipelined commit SPLITS capture from
+// persistence: payloads read live orchestrator state (residuals, id
+// counters), so they must be built on the pipeline thread at window-close
+// time, while the serial append happens later on the commit thread. A
+// payload captured by a builder is a pure value — appending it afterwards
+// never re-reads orchestrator state.
+
+/// Payload of a `snapshot` record: full deployment + controller state.
+[[nodiscard]] io::Json make_snapshot_record(const Orchestrator& orch,
+                                            const Controller& controller);
+/// Payload of an `admit` record for one committed service.
+[[nodiscard]] io::Json make_admit_record(const Orchestrator& orch,
+                                         const Service& svc);
+/// Payload of a `batch` record: the admitted services verbatim plus
+/// post-batch id counters and touched residuals.
+[[nodiscard]] io::Json make_batch_record(
+    const Orchestrator& orch, const std::vector<const Service*>& admitted);
+/// Payload of a `teardown` record.
+[[nodiscard]] io::Json make_teardown_record(ServiceId service);
+
 /// One decoded record. `payload` is the full parsed record object
 /// (io::Json is move-only, so the record keeps the whole object);
 /// data() accesses its "data" member.

@@ -31,8 +31,12 @@
 //
 // Thread safety — the sharded model. Mutating entry points (admit,
 // admit_batch, fail_*, repair_cloudlet, reaugment, revive, teardown) must
-// be called from ONE driver thread; the orchestrator is not a free-threaded
-// object. Inside admit_batch (and the controller's sharded reconcile) the
+// be called from ONE driver thread at a time; the orchestrator is not a
+// free-threaded object. In a batch program that driver is the caller's
+// thread; under orchestrator::StreamingService (streaming.h) the service's
+// internal pipeline thread takes the driver role for the stream's lifetime
+// and callers interact only through the lock-free event queue. Inside
+// admit_batch (and the controller's sharded reconcile) the
 // orchestrator fans work out to its own thread pool, and safety there rests
 // on shard ownership rather than locks: the ShardMap partitions cloudlets
 // into regions such that every l-hop backup neighbourhood of an INTERIOR
@@ -206,6 +210,12 @@ class Orchestrator {
   [[nodiscard]] std::optional<std::size_t> service_home_shard(ServiceId id);
 
   [[nodiscard]] const Service& service(ServiceId id) const;
+  /// True while `id` names a live (not yet torn down) service. The
+  /// streaming service uses this to tolerate departure events for
+  /// services that already left (double teardown, raced re-admission).
+  [[nodiscard]] bool has_service(ServiceId id) const noexcept {
+    return services_.find(id) != services_.end();
+  }
   [[nodiscard]] std::vector<ServiceId> services() const;
 
   /// Kills one instance. If it was active and a standby for the same

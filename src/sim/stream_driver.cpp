@@ -1,0 +1,409 @@
+#include "sim/stream_driver.h"
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "orchestrator/controller.h"
+#include "orchestrator/journal.h"
+#include "orchestrator/orchestrator.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_annotations.h"
+#include "util/timer.h"
+
+namespace mecra::sim {
+
+namespace {
+
+/// Peak arrival rate of the profile (the thinning envelope).
+double peak_rate(const StreamConfig& config) {
+  switch (config.profile) {
+    case RateProfile::kBurst:
+      return config.arrival_rate * std::max(1.0, config.burst_factor);
+    case RateProfile::kDiurnal:
+      return config.arrival_rate * (1.0 + config.diurnal_amplitude);
+    case RateProfile::kConstant:
+      break;
+  }
+  return config.arrival_rate;
+}
+
+/// Instantaneous arrival rate lambda(t).
+double rate_at(const StreamConfig& config, double t) {
+  switch (config.profile) {
+    case RateProfile::kBurst: {
+      const double phase = std::fmod(t, config.burst_period);
+      return phase < config.burst_duty * config.burst_period
+                 ? config.arrival_rate * config.burst_factor
+                 : config.arrival_rate;
+    }
+    case RateProfile::kDiurnal:
+      return config.arrival_rate *
+             (1.0 + config.diurnal_amplitude *
+                        std::sin(2.0 * std::acos(-1.0) * t /
+                                 config.diurnal_period));
+    case RateProfile::kConstant:
+      break;
+  }
+  return config.arrival_rate;
+}
+
+/// Uniform [0, 1) from a derived seed (stateless per-ticket draws: the
+/// on_decided callback recomputes them without sharing generator state
+/// with the driver thread).
+double unit_draw(std::uint64_t seed, std::uint64_t stream) {
+  return static_cast<double>(util::derive_seed(seed, stream) >> 11) *
+         0x1.0p-53;
+}
+
+/// Exponential draw with the given mean from a derived seed.
+double exp_draw(std::uint64_t seed, std::uint64_t stream, double mean) {
+  return -mean * std::log(1.0 - unit_draw(seed, stream));
+}
+
+/// A scheduled lifecycle event for an admitted service.
+struct Pending {
+  double time = 0.0;
+  orchestrator::ServiceId service = 0;
+  bool readmit = false;
+};
+
+/// Min-heap order with a deterministic tie-break (service id).
+struct PendingLater {
+  bool operator()(const Pending& a, const Pending& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.service > b.service;
+  }
+};
+
+}  // namespace
+
+StreamMetrics run_stream(const mec::MecNetwork& network,
+                         const mec::VnfCatalog& catalog,
+                         const StreamConfig& config, std::uint64_t seed) {
+  MECRA_CHECK(config.window_width > 0.0 && config.horizon > 0.0);
+  MECRA_CHECK(config.arrival_rate > 0.0 && config.mean_holding_time > 0.0);
+
+  orchestrator::OrchestratorOptions oopt;
+  oopt.l_hops = config.l_hops;
+  oopt.augment = config.augment;
+  oopt.batch.threads = config.threads;
+  oopt.batch.num_shards = config.shards;
+  orchestrator::Orchestrator orch(network, catalog, oopt);
+  orchestrator::Controller controller(orch);
+  std::optional<orchestrator::Journal> journal;
+  if (!config.journal_path.empty()) {
+    journal.emplace(config.journal_path,
+                    orchestrator::Journal::Mode::kTruncate);
+  }
+
+  // Per-ticket lifecycle draws are stateless (unit_draw/exp_draw above):
+  // the pipeline-thread callback recomputes them from (hold_seed, ticket)
+  // instead of sharing generator state with this thread.
+  const std::uint64_t hold_seed = util::derive_seed(seed, 13);
+  const double readmit_fraction = config.readmit_fraction;
+  const double mean_holding = config.mean_holding_time;
+
+  util::Mutex mu;
+  std::vector<Pending> decided;           // guarded by mu
+  std::vector<orchestrator::WindowReport> reports;  // guarded by mu
+
+  orchestrator::StreamingOptions sopt;
+  sopt.window_width = config.window_width;
+  sopt.window_max_arrivals = config.window_max_arrivals;
+  sopt.max_queue_depth = config.max_queue_depth;
+  sopt.slo_p99_seconds = config.slo_p99_seconds;
+  sopt.pipelined_commit = config.pipelined_commit;
+  sopt.seed = seed;
+  sopt.snapshot_every_windows = config.snapshot_every_windows;
+  sopt.snapshot_on_start = journal.has_value();
+  sopt.on_decided = [&](const std::vector<orchestrator::StreamOutcome>& out) {
+    util::LockGuard lock(mu);
+    for (const orchestrator::StreamOutcome& o : out) {
+      if (!o.admitted) continue;
+      Pending p;
+      p.service = o.service;
+      if (!o.readmit) {
+        p.time = o.time + exp_draw(hold_seed, o.ticket * 3, mean_holding);
+        p.readmit = unit_draw(hold_seed, o.ticket * 3 + 1) < readmit_fraction;
+      } else {
+        // Second incarnation: departs for good after its own holding time.
+        p.time = o.time + exp_draw(hold_seed, o.ticket * 3 + 2, mean_holding);
+        p.readmit = false;
+      }
+      decided.push_back(p);
+    }
+  };
+  if (config.keep_window_reports) {
+    sopt.on_commit = [&](const orchestrator::WindowReport& rep) {
+      util::LockGuard lock(mu);
+      reports.push_back(rep);
+    };
+  }
+
+  orchestrator::StreamingService service(
+      orch, std::move(sopt), &controller,
+      journal.has_value() ? &*journal : nullptr);
+
+  // Latency quantiles come from the cumulative registry histogram deltas
+  // across the run (the service consumes the registry's delta chain, so
+  // the driver must not call delta_snapshot itself).
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+
+  StreamMetrics metrics;
+  util::Rng arrival_rng(util::derive_seed(seed, 11));
+  util::Rng request_rng(util::derive_seed(seed, 12));
+  mec::RequestParams rp = config.request;
+  rp.expectation = config.expectation;
+  const double peak = peak_rate(config);
+
+  // Next accepted arrival after `t` under Poisson thinning, or nullopt at
+  // the horizon. Candidates at the PEAK rate keep the draw stream (and so
+  // all derived randomness) identical across profiles with equal peak.
+  auto next_arrival = [&](double t) -> std::optional<double> {
+    for (;;) {
+      t += arrival_rng.exponential(1.0 / peak);
+      if (t >= config.horizon) return std::nullopt;
+      if (arrival_rng.uniform01() < rate_at(config, t) / peak) return t;
+    }
+  };
+
+  util::Timer wall;
+  service.start();
+  std::optional<double> upcoming = next_arrival(0.0);
+  std::uint64_t ticket = 0;
+  std::priority_queue<Pending, std::vector<Pending>, PendingLater> due;
+  const double w = config.window_width;
+  std::uint64_t flushes = 0;
+  double last_t = 0.0;
+  for (std::size_t g = 0; static_cast<double>(g) * w < config.horizon; ++g) {
+    const double wend = static_cast<double>(g + 1) * w;
+    {
+      util::LockGuard lock(mu);
+      for (const Pending& p : decided) due.push(p);
+      decided.clear();
+    }
+    for (;;) {
+      const bool have_due = !due.empty() && due.top().time < wend;
+      const bool have_arrival = upcoming.has_value() && *upcoming < wend;
+      if (!have_due && !have_arrival) break;
+      if (have_due &&
+          (!have_arrival || due.top().time <= *upcoming)) {
+        const Pending p = due.top();
+        due.pop();
+        // A departure decided late (during its own cell's close) carries a
+        // past timestamp; clamp to the submit front so event time never
+        // decreases (the service's submit contract).
+        const double t = std::max(p.time, last_t);
+        last_t = t;
+        if (p.readmit) {
+          (void)service.submit_readmit(p.service, t, p.service);
+        } else {
+          (void)service.submit_departure(p.service, t);
+        }
+      } else {
+        last_t = std::max(last_t, *upcoming);
+        mec::SfcRequest req = mec::random_request(
+            ticket, catalog, orch.network().num_nodes(), rp, request_rng);
+        ++metrics.generated;
+        const orchestrator::SubmitStatus status =
+            service.submit_arrival(std::move(req), *upcoming, ticket);
+        (void)status;  // sheds are counted by the service's stats
+        ++ticket;
+        upcoming = next_arrival(*upcoming);
+      }
+    }
+    service.flush(wend);
+    ++flushes;
+    service.wait_flushes_processed(flushes);
+  }
+  service.stop();
+  metrics.wall_seconds = wall.elapsed_seconds();
+
+  const orchestrator::StreamStats stats = service.stats();
+  metrics.arrivals = stats.arrivals;
+  metrics.admitted = stats.admitted;
+  metrics.rejected = stats.rejected;
+  metrics.departed = stats.departures;
+  metrics.readmits = stats.readmits;
+  metrics.shed = stats.shed_queue + stats.shed_slo;
+  metrics.windows = stats.windows;
+  metrics.requests_per_second =
+      metrics.wall_seconds > 0.0
+          ? static_cast<double>(stats.arrivals + stats.readmits) /
+                metrics.wall_seconds
+          : 0.0;
+  metrics.final_total_residual = orch.network().total_residual();
+  metrics.live_services = orch.services().size();
+
+  if (obs::enabled()) {
+    const obs::MetricsSnapshot after =
+        obs::MetricsRegistry::global().snapshot();
+    const std::string latency_name = "stream.admit_latency_seconds";
+    const obs::MetricsSnapshot::HistogramSample* prior = nullptr;
+    for (const auto& h : before.histograms) {
+      if (h.name == latency_name) prior = &h;
+    }
+    for (const auto& h : after.histograms) {
+      if (h.name != latency_name) continue;
+      obs::Histogram::Snapshot delta = h.data;
+      if (prior != nullptr) {
+        for (std::size_t b = 0; b < delta.counts.size(); ++b) {
+          delta.counts[b] -= prior->data.counts[b];
+        }
+        delta.count -= prior->data.count;
+        delta.sum -= prior->data.sum;
+      }
+      metrics.p50_latency_seconds = delta.quantile(0.50);
+      metrics.p99_latency_seconds = delta.quantile(0.99);
+    }
+  }
+  {
+    util::LockGuard lock(mu);
+    metrics.windows_series = std::move(reports);
+  }
+  return metrics;
+}
+
+StreamMetrics run_stream_serial(const mec::MecNetwork& network,
+                                const mec::VnfCatalog& catalog,
+                                const StreamConfig& config,
+                                std::uint64_t seed) {
+  MECRA_CHECK(config.horizon > 0.0);
+  MECRA_CHECK(config.arrival_rate > 0.0 && config.mean_holding_time > 0.0);
+
+  orchestrator::OrchestratorOptions oopt;
+  oopt.l_hops = config.l_hops;
+  oopt.augment = config.augment;
+  orchestrator::Orchestrator orch(network, catalog, oopt);
+  orchestrator::Controller controller(orch);
+
+  const std::uint64_t hold_seed = util::derive_seed(seed, 13);
+
+  /// A scheduled lifecycle event; re-admissions carry the request copy.
+  struct SerialPending {
+    double time = 0.0;
+    orchestrator::ServiceId service = 0;
+    std::uint64_t ticket = 0;
+    bool readmit = false;
+    mec::SfcRequest request;
+  };
+  struct SerialLater {
+    bool operator()(const SerialPending& a, const SerialPending& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.service > b.service;
+    }
+  };
+
+  StreamMetrics metrics;
+  util::Rng arrival_rng(util::derive_seed(seed, 11));
+  util::Rng request_rng(util::derive_seed(seed, 12));
+  util::Rng admit_rng(util::derive_seed(seed, 14));
+  mec::RequestParams rp = config.request;
+  rp.expectation = config.expectation;
+  const double peak = peak_rate(config);
+  auto next_arrival = [&](double t) -> std::optional<double> {
+    for (;;) {
+      t += arrival_rng.exponential(1.0 / peak);
+      if (t >= config.horizon) return std::nullopt;
+      if (arrival_rng.uniform01() < rate_at(config, t) / peak) return t;
+    }
+  };
+
+  std::vector<double> call_seconds;
+  std::priority_queue<SerialPending, std::vector<SerialPending>, SerialLater>
+      due;
+  auto schedule = [&](orchestrator::ServiceId id, std::uint64_t ticket,
+                      double now, bool first_life,
+                      const mec::SfcRequest& req) {
+    SerialPending p;
+    p.service = id;
+    p.ticket = ticket;
+    if (first_life) {
+      p.time = now + exp_draw(hold_seed, ticket * 3, config.mean_holding_time);
+      p.readmit =
+          unit_draw(hold_seed, ticket * 3 + 1) < config.readmit_fraction;
+      if (p.readmit) p.request = req;
+    } else {
+      p.time =
+          now + exp_draw(hold_seed, ticket * 3 + 2, config.mean_holding_time);
+      p.readmit = false;
+    }
+    due.push(std::move(p));
+  };
+
+  util::Timer wall;
+  std::optional<double> upcoming = next_arrival(0.0);
+  std::uint64_t ticket = 0;
+  while (upcoming.has_value() || !due.empty()) {
+    const bool take_due =
+        !due.empty() &&
+        (!upcoming.has_value() || due.top().time <= *upcoming);
+    if (take_due) {
+      SerialPending p = due.top();
+      due.pop();
+      if (p.time >= config.horizon) {
+        // Match run_stream's horizon: lifecycle events past it never
+        // happen — the service stays live into live_services.
+        continue;
+      }
+      const util::Timer call;
+      orch.teardown(p.service);
+      controller.on_teardown(p.service);
+      if (p.readmit) {
+        ++metrics.readmits;
+        const auto id = orch.admit(p.request, admit_rng);
+        call_seconds.push_back(call.elapsed_seconds());
+        if (id.has_value()) {
+          ++metrics.admitted;
+          controller.on_admit(*id, p.time);
+          schedule(*id, p.ticket, p.time, false, p.request);
+        } else {
+          ++metrics.rejected;
+        }
+      } else {
+        ++metrics.departed;
+      }
+    } else {
+      const double t = *upcoming;
+      const mec::SfcRequest req = mec::random_request(
+          ticket, catalog, orch.network().num_nodes(), rp, request_rng);
+      ++metrics.generated;
+      ++metrics.arrivals;
+      const util::Timer call;
+      const auto id = orch.admit(req, admit_rng);
+      call_seconds.push_back(call.elapsed_seconds());
+      if (id.has_value()) {
+        ++metrics.admitted;
+        controller.on_admit(*id, t);
+        schedule(*id, ticket, t, true, req);
+      } else {
+        ++metrics.rejected;
+      }
+      ++ticket;
+      upcoming = next_arrival(t);
+    }
+  }
+  metrics.wall_seconds = wall.elapsed_seconds();
+  metrics.requests_per_second =
+      metrics.wall_seconds > 0.0
+          ? static_cast<double>(metrics.arrivals + metrics.readmits) /
+                metrics.wall_seconds
+          : 0.0;
+  metrics.final_total_residual = orch.network().total_residual();
+  metrics.live_services = orch.services().size();
+  if (!call_seconds.empty()) {
+    metrics.p50_latency_seconds = util::quantile(call_seconds, 0.5);
+    metrics.p99_latency_seconds = util::quantile(call_seconds, 0.99);
+  }
+  return metrics;
+}
+
+}  // namespace mecra::sim

@@ -1,0 +1,149 @@
+// Open-loop trace driver for the streaming admission service.
+//
+// The dynamic simulator (sim/dynamic.h) is CLOSED-loop: it calls the
+// orchestrator and waits. This driver exercises the event-driven path
+// instead: it synthesizes a Poisson arrival trace with a configurable rate
+// profile (constant / bursty / diurnal), feeds it through
+// orchestrator::StreamingService as arrival / departure / re-admission
+// events, and reads results back through the service's callbacks — the
+// harness behind bench/stream_throughput and the streaming test suite.
+//
+// Lockstep protocol. The driver walks the window grid: for grid cell g it
+// submits every event with time in [g*W, (g+1)*W) in time order (arrivals
+// merged with the departures of previously admitted services), then
+// punctuates with flush((g+1)*W) and blocks on wait_flushes_processed(g+1)
+// — which returns when the window's ADMISSION stage is done, while its
+// commit still drains on the commit thread. That one-window lag is the
+// epoch pipeline: the driver is generating and the pipeline admitting
+// window g+1 while window g's journal writes and metrics land.
+//
+// Determinism: every stochastic choice (interarrival gaps, thinning
+// accepts, request contents, holding times, re-admit flags) is drawn from
+// seed-derived streams INDEPENDENT of admission outcomes — holding times
+// are pre-drawn per arrival index — so the submitted event trace is a pure
+// function of (config, seed), and with shedding disabled the whole run is
+// bit-identical at any thread count, pipelined or not. Departure times DO
+// depend on which requests are admitted (only admitted services depart),
+// but identically so for identical admission outcomes.
+//
+// Rate profiles are realized by Poisson thinning: candidates are generated
+// at the profile's peak rate and accepted with probability rate(t)/peak,
+// which keeps the candidate stream (and therefore every derived draw)
+// identical across profiles with the same peak.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/augmentation.h"
+#include "mec/network.h"
+#include "mec/request.h"
+#include "mec/vnf.h"
+#include "orchestrator/streaming.h"
+
+namespace mecra::sim {
+
+/// Arrival-rate shape over time (see rate() in the .cpp).
+enum class RateProfile : std::uint8_t {
+  kConstant,  ///< lambda(t) = arrival_rate
+  kBurst,     ///< square wave: arrival_rate * burst_factor for the first
+              ///< burst_duty fraction of every burst_period, else base
+  kDiurnal,   ///< arrival_rate * (1 + diurnal_amplitude * sin(2*pi*t/P))
+};
+
+struct StreamConfig {
+  // --- workload ---
+  /// Base mean arrivals per unit time (Poisson).
+  double arrival_rate = 20.0;
+  /// Mean exponential holding time of an admitted service.
+  double mean_holding_time = 10.0;
+  /// Event-time horizon: arrivals are generated in [0, horizon).
+  double horizon = 100.0;
+  /// Reliability expectation stamped on every request.
+  double expectation = 0.95;
+  mec::RequestParams request;
+  RateProfile profile = RateProfile::kConstant;
+  double burst_factor = 4.0;
+  double burst_period = 25.0;
+  double burst_duty = 0.2;
+  double diurnal_amplitude = 0.8;  ///< in [0, 1]
+  double diurnal_period = 50.0;
+  /// Probability that an admitted service is RE-ADMITTED (torn down and
+  /// re-placed, RIPPLE's scaling event) instead of departing when its
+  /// holding time expires; the re-incarnation departs for good after a
+  /// second pre-drawn holding time.
+  double readmit_fraction = 0.0;
+
+  // --- service / engine knobs (forwarded to StreamingOptions etc.) ---
+  std::uint32_t l_hops = 1;
+  core::AugmentOptions augment;
+  /// Shard worker threads (orchestrator::BatchOptions::threads).
+  std::size_t threads = 1;
+  /// Shard count override (0 = auto).
+  std::size_t shards = 0;
+  double window_width = 1.0;
+  std::size_t window_max_arrivals = 0;
+  std::size_t max_queue_depth = 0;
+  double slo_p99_seconds = 0.0;
+  bool pipelined_commit = true;
+  /// Journal the stream to this path (with an initial snapshot and
+  /// periodic snapshots); empty runs without a journal.
+  std::string journal_path;
+  std::size_t snapshot_every_windows = 0;
+  /// Keep every WindowReport in StreamMetrics::windows (memory-heavy on
+  /// long traces; meant for tests and report plots).
+  bool keep_window_reports = false;
+};
+
+/// Result of one run_stream() call.
+struct StreamMetrics {
+  // Counts (from StreamStats; see orchestrator/streaming.h).
+  std::uint64_t generated = 0;  ///< arrivals the trace produced
+  std::uint64_t arrivals = 0;   ///< arrival candidates decided
+  std::uint64_t admitted = 0;   ///< candidates admitted (incl. re-admits)
+  std::uint64_t rejected = 0;
+  std::uint64_t departed = 0;
+  std::uint64_t readmits = 0;
+  std::uint64_t shed = 0;  ///< refused at submit (queue + SLO)
+  std::uint64_t windows = 0;
+  /// Wall-clock seconds from first submit to drained stop().
+  double wall_seconds = 0.0;
+  /// Decided admission candidates per wall-clock second.
+  double requests_per_second = 0.0;
+  /// Admission latency (submit -> commit) quantiles over the whole run,
+  /// from the stream.admit_latency_seconds histogram; 0 while obs is
+  /// disabled.
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+  /// Conservation check inputs.
+  double final_total_residual = 0.0;
+  std::uint64_t live_services = 0;
+  /// Per-window reports (only when StreamConfig::keep_window_reports).
+  std::vector<orchestrator::WindowReport> windows_series;
+};
+
+/// Runs the open-loop trace against a COPY of `network`. Deterministic
+/// for a given (network, catalog, config, seed) under the streaming
+/// service's determinism contract (shedding knobs off).
+[[nodiscard]] StreamMetrics run_stream(const mec::MecNetwork& network,
+                                       const mec::VnfCatalog& catalog,
+                                       const StreamConfig& config,
+                                       std::uint64_t seed);
+
+/// Closed-loop PER-EVENT baseline over the same trace distribution: the
+/// classic pre-streaming way to serve the stream — one
+/// Orchestrator::admit (fresh l-hop BFS per chain position) or teardown
+/// per event, inline on the calling thread, plus the same controller
+/// bookkeeping. Arrival times, request contents, and holding draws use
+/// the exact seed streams of run_stream; departure schedules differ only
+/// through the engines' different admission decisions. Latency quantiles
+/// are per-call decision times (there is no queue to wait in).
+/// bench/stream_throughput's serial-normalized ratios divide run_stream
+/// throughput by this.
+[[nodiscard]] StreamMetrics run_stream_serial(const mec::MecNetwork& network,
+                                              const mec::VnfCatalog& catalog,
+                                              const StreamConfig& config,
+                                              std::uint64_t seed);
+
+}  // namespace mecra::sim

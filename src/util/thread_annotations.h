@@ -27,6 +27,7 @@
 //     MECRA_REQUIRES(mutex_) instead of re-locking.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -143,6 +144,16 @@ class CondVar {
   /// before returning. Spurious wakeups happen; callers loop on their
   /// predicate: `while (!ready_) cv_.wait(mutex_);`
   void wait(Mutex& mutex) MECRA_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  /// Timed wait: like wait(), but also returns after `timeout` elapses.
+  /// Returns true when notified before the deadline, false on timeout.
+  /// Spurious wakeups report true, so callers must loop on their predicate
+  /// either way; the return value only distinguishes "deadline passed".
+  template <class Rep, class Period>
+  bool wait_for(Mutex& mutex, const std::chrono::duration<Rep, Period>& timeout)
+      MECRA_REQUIRES(mutex) {
+    return cv_.wait_for(mutex, timeout) == std::cv_status::no_timeout;
+  }
 
  private:
   std::condition_variable_any cv_;
