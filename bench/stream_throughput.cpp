@@ -37,13 +37,28 @@
 //                           burst/diurnal traces thin from the same peak-
 //                           rate candidate stream (EXPERIMENTS.md)
 //   --window <w>            admission window width in seconds (default 3)
+//   --journal <path>        journal the measured journaled column to this
+//                           path (default: <out>.tmp.journal, deleted
+//                           afterwards; pass a path to keep the file)
+//   --durability <p>        group-commit policy of the journaled column's
+//                           "grouped" leg: per_record | per_window |
+//                           bytes:<N> (default per_window;
+//                           orchestrator::Durability::parse syntax)
 //   --check-against <path>  compare against a committed snapshot and exit
 //                           non-zero if any thread count's
 //                           serial-normalized throughput
 //                           (pipelined_rps / serial_rps, host speed
-//                           cancels) fell by more than --regression-factor
+//                           cancels) fell by more than --regression-factor,
+//                           if the journaled grouped/per-record ratios
+//                           (stream rps and raw append rate) fell by more
+//                           than the same factor, or if the grouped
+//                           journaled run's p99 submit->commit latency grew
+//                           by more than the factor
 //   --regression-factor <x> regression threshold (default 2.0)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -51,6 +66,7 @@
 #include <vector>
 
 #include "io/json.h"
+#include "orchestrator/journal.h"
 #include "sim/stream_driver.h"
 #include "sim/workload.h"
 #include "util/cli.h"
@@ -108,6 +124,76 @@ void fill(io::JsonObject& o, const Measure& m) {
   o.set("p50_ms_median", m.p50_ms_median);
   o.set("p99_ms_median", m.p99_ms_median);
   o.set("wall_s_median", m.wall_s_median);
+}
+
+/// Rep-major measurement of several streaming configurations: rep r runs
+/// every configuration once before rep r+1 starts. Config-major order
+/// (all reps of config A, then all of B) lets slow machine drift — a
+/// thermal ramp, a background job — bias entire configurations against
+/// each other; interleaving lands the drift on all of them alike. The
+/// cross-config ratios this bench gates (8-thread vs 2-thread rps,
+/// grouped vs per-record commit) are exactly the numbers that kind of
+/// bias corrupts. Medians are per configuration across reps.
+std::vector<Measure> measure_interleaved(
+    const sim::Scenario& s, const std::vector<sim::StreamConfig>& configs,
+    std::size_t reps) {
+  std::vector<std::vector<double>> rps(configs.size());
+  std::vector<std::vector<double>> p50_ms(configs.size());
+  std::vector<std::vector<double>> p99_ms(configs.size());
+  std::vector<std::vector<double>> wall_s(configs.size());
+  std::vector<Measure> out(configs.size());
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      out[c].last = sim::run_stream(s.network, s.catalog, configs[c], 7);
+      rps[c].push_back(out[c].last.requests_per_second);
+      p50_ms[c].push_back(out[c].last.p50_latency_seconds * 1e3);
+      p99_ms[c].push_back(out[c].last.p99_latency_seconds * 1e3);
+      wall_s[c].push_back(out[c].last.wall_seconds);
+    }
+  }
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    out[c].median_rps = util::quantile(rps[c], 0.5);
+    out[c].p50_ms_median = util::quantile(p50_ms[c], 0.5);
+    out[c].p99_ms_median = util::quantile(p99_ms[c], 0.5);
+    out[c].wall_s_median = util::quantile(wall_s[c], 0.5);
+  }
+  return out;
+}
+
+/// Raw journal append throughput: `n` teardown-sized records written under
+/// `durability`, flushed every `group` appends (group = 1 with per_record
+/// is the historical flush-per-append discipline). Returns records/sec;
+/// `bytes_per_second` gets the matching byte rate. The file at `path` is
+/// truncated first and left behind for the caller to remove.
+double append_rate(const std::string& path,
+                   const orchestrator::Durability& durability,
+                   std::size_t group, std::size_t n,
+                   double* bytes_per_second) {
+  // Payload objects are pre-built so the timer covers only the journal's own
+  // append + flush path; construction cost is identical in both legs.
+  std::vector<io::Json> payloads;
+  payloads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    io::JsonObject data;
+    data.set("service", static_cast<std::int64_t>(i));
+    payloads.emplace_back(std::move(data));
+  }
+  orchestrator::Journal journal(path, orchestrator::Journal::Mode::kTruncate,
+                                durability);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)journal.append(orchestrator::kJournalTeardown,
+                         static_cast<double>(i) * 1e-3,
+                         std::move(payloads[i]));
+    if (group > 1 && (i + 1) % group == 0) journal.flush();
+  }
+  journal.flush();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  const double seconds = std::max(elapsed.count(), 1e-9);
+  *bytes_per_second =
+      static_cast<double>(std::filesystem::file_size(path)) / seconds;
+  return static_cast<double>(n) / seconds;
 }
 
 /// The world-state fields every configuration must agree on (the
@@ -178,6 +264,38 @@ int check_against(const io::Json& fresh, const std::string& path,
       }
     }
   }
+
+  // Journaled gates (summary-level; both ratios and the latency are
+  // host-speed-free or compared fresh-vs-committed under the same factor):
+  //   * grouped/per-record stream rps ratio must not collapse,
+  //   * grouped/per-record raw append rate must not collapse,
+  //   * the grouped run's p99 submit->commit latency must not blow up.
+  const auto& csum = committed.as_object().at("summary").as_object();
+  const auto& fsum = fresh.as_object().at("summary").as_object();
+  const auto gate_ratio = [&](const char* field) {
+    if (!csum.contains(field) || !fsum.contains(field)) return;
+    const double want = csum.at(field).as_double();
+    const double got = fsum.at(field).as_double();
+    const bool regressed = got * factor < want;
+    std::cout << (regressed ? "REGRESSED " : "ok        ") << field
+              << "  committed=" << want << " fresh=" << got << "\n";
+    failures += regressed ? 1 : 0;
+  };
+  gate_ratio("journaled_stream_ratio");
+  gate_ratio("journaled_append_speedup");
+  // The thread-curve shape gate: 8 workers must not fall back below the
+  // 2-worker figure (the historical regression this bench documents).
+  gate_ratio("pipelined_rps_8t_vs_2t");
+  if (csum.contains("journaled_grouped_p99_ms") &&
+      fsum.contains("journaled_grouped_p99_ms")) {
+    const double want = csum.at("journaled_grouped_p99_ms").as_double();
+    const double got = fsum.at("journaled_grouped_p99_ms").as_double();
+    const bool regressed = got > want * factor && got > 1.0;  // ms floor
+    std::cout << (regressed ? "REGRESSED " : "ok        ")
+              << "journaled_grouped_p99_ms  committed=" << want
+              << " fresh=" << got << "\n";
+    failures += regressed ? 1 : 0;
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -236,9 +354,17 @@ int main(int argc, char** argv) {
   root.set("readmit_fraction", base.readmit_fraction);
   root.set("mean_holding_time", base.mean_holding_time);
 
+  const orchestrator::Durability grouped_durability =
+      orchestrator::Durability::parse(args.get("durability", "per_window"));
+
   io::JsonArray scenarios;
   double speedup_at_4 = 0.0;
+  double rps_at_2 = 0.0;
+  double rps_at_8 = 0.0;
   bool determinism_ok = true;
+  double journaled_stream_ratio = 0.0;
+  double journaled_grouped_p99_ms = 0.0;
+  double journaled_append_speedup = 0.0;
   std::cout << "key             config       med rps    p99 ms   speedup\n";
   {
     const std::size_t num_aps = 400;
@@ -261,16 +387,24 @@ int main(int argc, char** argv) {
 
     io::JsonArray pipelined_runs;
     sim::StreamMetrics stream_world;  // first streaming run's final state
+    std::vector<sim::StreamConfig> thread_configs;
     for (const std::size_t threads : thread_counts) {
       sim::StreamConfig config = base;
       config.threads = threads;
       config.pipelined_commit = true;
-      const Measure pipelined = measure(s, config, reps,
-                                        /*serial_baseline=*/false);
+      thread_configs.push_back(config);
+    }
+    const std::vector<Measure> pipelined_measures =
+        measure_interleaved(s, thread_configs, reps);
+    for (std::size_t c = 0; c < thread_counts.size(); ++c) {
+      const std::size_t threads = thread_counts[c];
+      const Measure& pipelined = pipelined_measures[c];
       const double speedup = serial.median_rps > 0.0
                                  ? pipelined.median_rps / serial.median_rps
                                  : 0.0;
       if (threads == 4) speedup_at_4 = speedup;
+      if (threads == 2) rps_at_2 = pipelined.median_rps;
+      if (threads == 8) rps_at_8 = pipelined.median_rps;
       if (threads == thread_counts.front()) {
         stream_world = pipelined.last;
         // The streaming trace's composition (the serial baseline decides
@@ -299,13 +433,118 @@ int main(int argc, char** argv) {
                   speedup);
     }
     entry.set("pipelined", io::Json(std::move(pipelined_runs)));
+
+    // Journaled column: the same pipelined stream at a representative
+    // thread count with a write-ahead journal attached, per-record flush
+    // vs. group commit, plus the raw append rate over teardown-sized
+    // records. Bytes on disk are identical under every policy (asserted
+    // in tests); only the physical write schedule differs.
+    {
+      const std::size_t jthreads = 2;
+      const std::string jpath =
+          args.get("journal", args.get("out", "BENCH_stream.json") +
+                                  ".tmp.journal");
+      sim::StreamConfig jconfig = base;
+      jconfig.threads = jthreads;
+      jconfig.pipelined_commit = true;
+      jconfig.journal_path = jpath;
+
+      std::vector<sim::StreamConfig> jconfigs(2, jconfig);
+      jconfigs[0].durability = orchestrator::Durability::per_record();
+      jconfigs[1].durability = grouped_durability;
+      const std::vector<Measure> jmeasures =
+          measure_interleaved(s, jconfigs, reps);
+      const Measure& per_record = jmeasures[0];
+      const Measure& grouped = jmeasures[1];
+      journaled_stream_ratio =
+          per_record.median_rps > 0.0
+              ? grouped.median_rps / per_record.median_rps
+              : 0.0;
+      journaled_grouped_p99_ms = grouped.p99_ms_median;
+      if (!same_world(per_record.last, stream_world) ||
+          !same_world(grouped.last, stream_world)) {
+        determinism_ok = false;
+        std::cerr << "DETERMINISM VIOLATION: journaled runs diverged from "
+                     "the unjournaled streaming trace\n";
+      }
+
+      // The append replay is seconds of work, so it always gets its own
+      // median-of-5, interleaving the two legs for the same drift
+      // immunity as the stream measurements.
+      const std::size_t append_n = quick ? 20000 : 100000;
+      const std::size_t append_reps = 5;
+      std::vector<double> pr_rates;
+      std::vector<double> pr_byte_rates;
+      std::vector<double> grouped_rates;
+      std::vector<double> grouped_byte_rates;
+      for (std::size_t r = 0; r < append_reps; ++r) {
+        double bytes = 0.0;
+        pr_rates.push_back(
+            append_rate(jpath, orchestrator::Durability::per_record(), 1,
+                        append_n, &bytes));
+        pr_byte_rates.push_back(bytes);
+        grouped_rates.push_back(
+            append_rate(jpath, orchestrator::Durability::per_window(), 64,
+                        append_n, &bytes));
+        grouped_byte_rates.push_back(bytes);
+      }
+      const double pr_append = util::quantile(pr_rates, 0.5);
+      const double pr_bytes = util::quantile(pr_byte_rates, 0.5);
+      const double grouped_append = util::quantile(grouped_rates, 0.5);
+      const double grouped_bytes = util::quantile(grouped_byte_rates, 0.5);
+      journaled_append_speedup =
+          pr_append > 0.0 ? grouped_append / pr_append : 0.0;
+      if (!args.has("journal")) {
+        std::error_code ec;
+        std::filesystem::remove(jpath, ec);
+      }
+
+      io::JsonObject journaled;
+      journaled.set("threads", jthreads);
+      journaled.set("durability_grouped", grouped_durability.to_string());
+      journaled.set("per_record", [&] {
+        io::JsonObject o;
+        fill(o, per_record);
+        return io::Json(std::move(o));
+      }());
+      journaled.set("grouped", [&] {
+        io::JsonObject o;
+        fill(o, grouped);
+        return io::Json(std::move(o));
+      }());
+      journaled.set("grouped_vs_per_record_rps", journaled_stream_ratio);
+      io::JsonObject replay;
+      replay.set("records", append_n);
+      replay.set("per_record_appends_per_s", pr_append);
+      replay.set("per_record_bytes_per_s", pr_bytes);
+      replay.set("grouped_appends_per_s", grouped_append);
+      replay.set("grouped_bytes_per_s", grouped_bytes);
+      replay.set("group_size", 64);
+      replay.set("grouped_vs_per_record", journaled_append_speedup);
+      journaled.set("append_replay", io::Json(std::move(replay)));
+      entry.set("journaled", io::Json(std::move(journaled)));
+
+      std::printf("%-15s journal/pr  %9.1f %9.3f %8s\n", key.c_str(),
+                  per_record.median_rps, per_record.p99_ms_median, "");
+      std::printf("%-15s journal/grp %9.1f %9.3f %7.2fx\n", key.c_str(),
+                  grouped.median_rps, grouped.p99_ms_median,
+                  journaled_stream_ratio);
+      std::printf("%-15s append x%-3d %9.0f rec/s vs %9.0f rec/s %7.2fx\n",
+                  key.c_str(), 64, grouped_append, pr_append,
+                  journaled_append_speedup);
+    }
     scenarios.push_back(io::Json(std::move(entry)));
   }
   root.set("scenarios", io::Json(std::move(scenarios)));
 
   io::JsonObject summary;
   summary.set("speedup_at_4_threads", speedup_at_4);
+  summary.set("pipelined_rps_8t_vs_2t",
+              rps_at_2 > 0.0 ? rps_at_8 / rps_at_2 : 0.0);
   summary.set("determinism_ok", determinism_ok);
+  summary.set("journaled_stream_ratio", journaled_stream_ratio);
+  summary.set("journaled_grouped_p99_ms", journaled_grouped_p99_ms);
+  summary.set("journaled_append_speedup", journaled_append_speedup);
   root.set("summary", io::Json(std::move(summary)));
 
   const io::Json snapshot(std::move(root));

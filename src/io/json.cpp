@@ -41,9 +41,18 @@ std::int64_t Json::as_int() const {
 
 namespace {
 
-void append_escaped(std::string& out, const std::string& s) {
+void append_escaped(std::string& out, std::string_view s) {
   out += '"';
-  for (char ch : s) {
+  // Copy maximal clean runs in bulk; the per-character switch only runs for
+  // the rare characters that actually need escaping.
+  std::size_t flushed = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char ch = s[i];
+    if (static_cast<unsigned char>(ch) >= 0x20 && ch != '"' && ch != '\\') {
+      continue;  // UTF-8 bytes pass through
+    }
+    out.append(s.substr(flushed, i - flushed));
+    flushed = i + 1;
     switch (ch) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -52,26 +61,32 @@ void append_escaped(std::string& out, const std::string& s) {
       case '\t': out += "\\t"; break;
       case '\b': out += "\\b"; break;
       case '\f': out += "\\f"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;  // UTF-8 bytes pass through
-        }
+      default: {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+        out += buf;
+      }
     }
   }
+  out.append(s.substr(flushed));
   out += '"';
 }
 
 void append_number(std::string& out, double d) {
   MECRA_CHECK_MSG(std::isfinite(d), "JSON cannot represent non-finite numbers");
-  // Integers up to 2^53 print without a decimal point.
+  // Integers up to 2^53 print without a decimal point. Integer to_chars
+  // produces the same digits as the historical snprintf("%.0f") at a
+  // fraction of the cost (this runs three times per journal record).
   if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    if (d == 0.0 && std::signbit(d)) {
+      out += "-0";  // %.0f printed the sign of negative zero
+      return;
+    }
     char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", d);
-    out += buf;
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof buf, static_cast<std::int64_t>(d));
+    MECRA_CHECK(ec == std::errc());
+    out.append(buf, ptr);
     return;
   }
   char buf[32];
@@ -82,7 +97,7 @@ void append_number(std::string& out, double d) {
 
 struct Dumper {
   int indent;
-  std::string out;
+  std::string& out;
 
   void newline(int depth) {
     if (indent < 0) return;
@@ -138,9 +153,23 @@ struct Dumper {
 }  // namespace
 
 std::string Json::dump(int indent) const {
-  Dumper d{indent, {}};
+  std::string out;
+  Dumper d{indent, out};
   d.dump(*this, 0);
-  return d.out;
+  return out;
+}
+
+void Json::dump_append(std::string& out) const {
+  Dumper d{-1, out};
+  d.dump(*this, 0);
+}
+
+void dump_string_append(std::string& out, std::string_view s) {
+  append_escaped(out, s);
+}
+
+void dump_number_append(std::string& out, double d) {
+  append_number(out, d);
 }
 
 // ----------------------------------------------------------------- parse

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -78,6 +79,11 @@ class Json {
   /// with the given indent width otherwise.
   [[nodiscard]] std::string dump(int indent = -1) const;
 
+  /// Appends the compact serialization to `out`, reusing the caller's
+  /// buffer instead of allocating the temporary dump() returns — the
+  /// journal append hot path (orchestrator/journal.cpp).
+  void dump_append(std::string& out) const;
+
   /// Strict parse; throws util::CheckFailure with position info on errors.
   [[nodiscard]] static Json parse(const std::string& text);
 
@@ -97,5 +103,16 @@ class Json {
                JsonObject>
       value_;
 };
+
+// Serializer building blocks, exposed so hand-assembled payloads (the
+// journal's record envelope) can match Json::dump byte for byte without
+// constructing a JsonObject first.
+
+/// Appends the JSON string literal (quotes + standard escapes) for `s`.
+void dump_string_append(std::string& out, std::string_view s);
+/// Appends the JSON number serialization of `d` (round-trip shortest form;
+/// integral values below 2^53 print without a decimal point). Requires a
+/// finite value.
+void dump_number_append(std::string& out, double d);
 
 }  // namespace mecra::io

@@ -212,7 +212,46 @@ std::uint32_t journal_crc32(std::string_view bytes) {
   return crc ^ 0xFFFFFFFFu;
 }
 
-Journal::Journal(std::string path, Mode mode) : path_(std::move(path)) {
+Durability Durability::parse(std::string_view text) {
+  if (text == "per_record") {
+    return per_record();
+  }
+  if (text == "per_window") {
+    return per_window();
+  }
+  constexpr std::string_view kBytesPrefix = "bytes:";
+  if (text.size() > kBytesPrefix.size() &&
+      text.substr(0, kBytesPrefix.size()) == kBytesPrefix) {
+    const std::string digits(text.substr(kBytesPrefix.size()));
+    const bool numeric =
+        !digits.empty() &&
+        digits.find_first_not_of("0123456789") == std::string::npos &&
+        digits.size() <= 15;
+    MECRA_CHECK_MSG(numeric, "durability: bad byte budget in '" +
+                                 std::string(text) + "'");
+    const unsigned long long budget = std::stoull(digits);
+    MECRA_CHECK_MSG(budget > 0, "durability: byte budget must be positive");
+    return bytes(static_cast<std::size_t>(budget));
+  }
+  MECRA_CHECK_MSG(false, "durability: expected per_record, per_window, or "
+                         "bytes:<N>, got '" +
+                             std::string(text) + "'");
+}
+
+std::string Durability::to_string() const {
+  switch (policy) {
+    case Policy::kPerRecord:
+      return "per_record";
+    case Policy::kPerGroup:
+      return "per_window";
+    case Policy::kBytes:
+      return "bytes:" + std::to_string(byte_budget);
+  }
+  return "per_record";
+}
+
+Journal::Journal(std::string path, Mode mode, Durability durability)
+    : path_(std::move(path)), durability_(durability) {
   if (mode == Mode::kContinue) {
     const JournalScan scan = scan_journal(path_);
     if (scan.torn_tail) {
@@ -227,44 +266,114 @@ Journal::Journal(std::string path, Mode mode) : path_(std::move(path)) {
   MECRA_CHECK_MSG(out_.is_open(), "journal: cannot open " + path_);
 }
 
+Journal::~Journal() {
+  // Best effort: a pending group at destruction reaches the file like any
+  // other flush, but failures (including an armed torn_write fault) are
+  // swallowed — throwing from a destructor would terminate, and losing the
+  // tail is exactly what the crash being simulated would do.
+  try {
+    flush_pending();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void Journal::set_durability(Durability durability) {
+  flush_pending();
+  durability_ = durability;
+}
+
 std::uint64_t Journal::append(std::string_view kind, double time,
                               io::Json data) {
   MECRA_CHECK_MSG(!wedged_, "journal is wedged after a torn write");
-  io::JsonObject rec;
-  rec.set("v", io::Json(kJournalFormatVersion));
-  rec.set("seq", io::Json(next_seq_));
-  rec.set("t", io::Json(time));
-  rec.set("kind", io::Json(std::string(kind)));
-  rec.set("data", std::move(data));
-  const std::string payload = io::Json(std::move(rec)).dump();
+  // Hand-assembled record envelope, serialized straight into the reusable
+  // scratch buffer. Building a JsonObject wrapper (five allocating inserts
+  // plus the temporary dump() returns) costs more than the physical write
+  // it frames; the io::dump_* building blocks produce output byte-identical
+  // to that wrapper's dump (asserted in tests/journal_test.cpp).
+  std::string& payload = payload_scratch_;
+  payload.clear();
+  payload += "{\"v\":";
+  io::dump_number_append(payload, kJournalFormatVersion);
+  payload += ",\"seq\":";
+  io::dump_number_append(payload, static_cast<double>(next_seq_));
+  payload += ",\"t\":";
+  io::dump_number_append(payload, time);
+  payload += ",\"kind\":";
+  io::dump_string_append(payload, kind);
+  payload += ",\"data\":";
+  data.dump_append(payload);
+  payload += '}';
   MECRA_CHECK(payload.size() < 0xFFFFFFFFull);
 
-  std::string frame;
-  frame.reserve(8 + payload.size());
-  put_u32_le(frame, static_cast<std::uint32_t>(payload.size()));
-  put_u32_le(frame, journal_crc32(payload));
-  frame += payload;
+  // Frame into the pending group. Frames are self-delimiting, so one
+  // contiguous write of the group later is byte-identical to writing each
+  // frame as it was appended.
+  pending_frames_.push_back(pending_.size());
+  pending_.reserve(pending_.size() + 8 + payload.size());
+  put_u32_le(pending_, static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(pending_, journal_crc32(payload));
+  pending_ += payload;
+
+  const std::uint64_t seq = next_seq_++;
+  switch (durability_.policy) {
+    case Durability::Policy::kPerRecord:
+      flush_pending();
+      break;
+    case Durability::Policy::kBytes:
+      if (pending_.size() >= durability_.byte_budget) {
+        flush_pending();
+      }
+      break;
+    case Durability::Policy::kPerGroup:
+      break;  // waits for an explicit flush()
+  }
+  return seq;
+}
+
+void Journal::flush() { flush_pending(); }
+
+void Journal::flush_pending() {
+  if (pending_.empty()) {
+    return;
+  }
+  MECRA_CHECK_MSG(!wedged_, "journal is wedged after a torn write");
 
   if (MECRA_FAULT_POINT("journal.torn_write")) {
-    // Crash mid-write: persist the header plus half the payload, wedge the
+    // Crash mid-write: persist every complete frame before the buffer
+    // midpoint plus half the payload of the frame containing it, wedge the
     // journal, and raise. scan_journal classifies the leftover as a torn
-    // tail; recovery resumes from the last complete record.
+    // tail; recovery resumes from the last complete record. For a
+    // single-record group this is the historical header-plus-half-payload
+    // cut.
     if (obs::enabled()) {
       static obs::Counter& injected =
           obs::MetricsRegistry::global().counter("fault.injected");
       injected.add(1);
     }
-    const auto cut = static_cast<std::streamsize>(8 + payload.size() / 2);
-    out_.write(frame.data(), cut);
+    const std::size_t mid = pending_.size() / 2;
+    std::size_t torn = 0;
+    while (torn + 1 < pending_frames_.size() &&
+           pending_frames_[torn + 1] <= mid) {
+      ++torn;
+    }
+    const std::size_t start = pending_frames_[torn];
+    const std::size_t end = torn + 1 < pending_frames_.size()
+                                ? pending_frames_[torn + 1]
+                                : pending_.size();
+    const std::size_t cut = start + 8 + (end - start - 8) / 2;
+    out_.write(pending_.data(), static_cast<std::streamsize>(cut));
     out_.flush();
     wedged_ = true;
+    pending_.clear();
+    pending_frames_.clear();
     throw util::InjectedFault("journal.torn_write");
   }
 
-  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.write(pending_.data(), static_cast<std::streamsize>(pending_.size()));
   out_.flush();
   MECRA_CHECK_MSG(out_.good(), "journal: write failed on " + path_);
-  return next_seq_++;
+  pending_.clear();
+  pending_frames_.clear();
 }
 
 io::Json make_snapshot_record(const Orchestrator& orch,

@@ -40,10 +40,26 @@
 // would otherwise require replaying its exact per-node operation order
 // (shard workers before the fallback pass, rolled-back attempts included).
 //
-// Fault injection: the `journal.torn_write` fault point makes append()
-// write a deliberately truncated frame and then throw util::InjectedFault,
-// simulating a crash mid-write; the journal is wedged afterwards (every
-// further append throws) exactly like a real half-dead file handle.
+// Group commit. append() frames records into an in-memory pending buffer;
+// the Durability policy decides when the buffer reaches the file. Under
+// kPerRecord (the default) every append is immediately written and flushed,
+// exactly the pre-group-commit behaviour. Under kPerGroup the caller marks
+// group boundaries with flush() — the streaming commit thread groups one
+// window per flush — and kBytes flushes whenever the pending buffer reaches
+// a byte budget. Frames are self-delimiting, so concatenating a group into
+// one write produces bytes identical to writing each frame separately: the
+// on-disk format is the same under every policy, and scan_journal/recover
+// never know which one produced the file. What the policy trades away is
+// durability granularity — a crash loses the unflushed suffix, never a
+// flushed prefix, and never tears anything but the final frame written.
+//
+// Fault injection: the `journal.torn_write` fault point fires at the
+// physical write, writing a deliberately truncated group — every complete
+// frame before the buffer midpoint plus half the payload of the frame
+// containing it — and then throws util::InjectedFault, simulating a crash
+// mid-write; the journal is wedged afterwards (every further append throws)
+// exactly like a real half-dead file handle. With single-record groups
+// (kPerRecord) this reduces to the historical cut of header + half payload.
 //
 // Thread safety: a Journal belongs to the orchestrator's driver thread,
 // like the orchestrator itself. scan_journal/recover are pure functions of
@@ -87,6 +103,36 @@ inline constexpr std::string_view kJournalReconcile = "reconcile";
 /// the frame checksum. Exposed so tests can craft corrupt frames.
 [[nodiscard]] std::uint32_t journal_crc32(std::string_view bytes);
 
+/// When appended records reach the file (group-commit policy). The bytes
+/// written are identical under every policy; only the flush boundaries —
+/// and therefore what a crash can lose — differ.
+struct Durability {
+  enum class Policy : std::uint8_t {
+    kPerRecord,  // write+flush every append (historical default)
+    kPerGroup,   // buffer until an explicit Journal::flush()
+    kBytes,      // buffer until >= byte_budget pending, then write+flush
+  };
+
+  Policy policy = Policy::kPerRecord;
+  /// Only meaningful under kBytes: flush once the pending buffer holds at
+  /// least this many bytes. An explicit flush() still works at any time.
+  std::size_t byte_budget = 0;
+
+  [[nodiscard]] static Durability per_record() { return {}; }
+  /// Group per caller-marked window: appends buffer until flush().
+  [[nodiscard]] static Durability per_window() {
+    return {.policy = Policy::kPerGroup, .byte_budget = 0};
+  }
+  [[nodiscard]] static Durability bytes(std::size_t budget) {
+    return {.policy = Policy::kBytes, .byte_budget = budget};
+  }
+
+  /// Parses "per_record", "per_window", or "bytes:<N>" (CLI flag syntax);
+  /// throws util::CheckFailure on anything else.
+  [[nodiscard]] static Durability parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+};
+
 class Journal {
  public:
   enum class Mode : std::uint8_t {
@@ -95,7 +141,15 @@ class Journal {
                 // truncated away first; seq continues the chain)
   };
 
-  explicit Journal(std::string path, Mode mode = Mode::kTruncate);
+  explicit Journal(std::string path, Mode mode = Mode::kTruncate,
+                   Durability durability = Durability::per_record());
+
+  /// Flushes any pending group (best effort — errors are swallowed, as in
+  /// a crash the same bytes would simply be lost).
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   /// Sequence number the next append will carry.
@@ -104,9 +158,31 @@ class Journal {
   /// further append throws.
   [[nodiscard]] bool wedged() const noexcept { return wedged_; }
 
-  /// Appends one framed record and flushes it to the OS. Returns the
-  /// record's sequence number.
+  [[nodiscard]] const Durability& durability() const noexcept {
+    return durability_;
+  }
+  /// Changes the policy for subsequent appends. Flushes any pending group
+  /// first so records never straddle a policy switch.
+  void set_durability(Durability durability);
+
+  /// Records framed but not yet written to the file.
+  [[nodiscard]] std::size_t buffered_records() const noexcept {
+    return pending_frames_.size();
+  }
+  /// Bytes framed but not yet written to the file.
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return pending_.size();
+  }
+
+  /// Appends one framed record; the durability policy decides whether it
+  /// reaches the file now (kPerRecord / kBytes budget hit) or waits in the
+  /// pending group. Returns the record's sequence number, assigned eagerly.
   std::uint64_t append(std::string_view kind, double time, io::Json data);
+
+  /// Writes and flushes the pending group as one contiguous write. No-op
+  /// when nothing is pending. This is the group boundary under kPerGroup —
+  /// the streaming commit thread calls it once per window.
+  void flush();
 
   // --- typed writers (one per record kind; see docs/journal_format.md) ---
 
@@ -132,10 +208,20 @@ class Journal {
   std::uint64_t reconcile_mark(double time);
 
  private:
+  /// Writes + flushes the pending buffer; hosts the torn_write fault point.
+  void flush_pending();
+
   std::string path_;
   std::ofstream out_;
   std::uint64_t next_seq_ = 0;
   bool wedged_ = false;
+  Durability durability_;
+  /// Concatenated frames awaiting a physical write, plus each frame's
+  /// start offset (for the mid-group torn-write cut).
+  std::string pending_;
+  std::vector<std::size_t> pending_frames_;
+  /// Reusable serialization buffer for one record payload (append()).
+  std::string payload_scratch_;
 };
 
 // --- record payload builders ---

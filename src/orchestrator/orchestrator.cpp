@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "admission/admission.h"
@@ -118,9 +119,15 @@ std::optional<ServiceId> Orchestrator::admit(const mec::SfcRequest& request,
                                      InstanceState::kRunning});
   }
 
-  const auto instance = core::build_bmcgap(network_, catalog_, request,
-                                           *primaries,
-                                           {.l_hops = options_.l_hops});
+  core::BmcgapInstance fresh;
+  if (!options_.model_arena) {
+    fresh = core::build_bmcgap(network_, catalog_, request, *primaries,
+                               {.l_hops = options_.l_hops});
+  }
+  const core::BmcgapInstance& instance =
+      options_.model_arena
+          ? serial_arena().build(network_, catalog_, request, *primaries)
+          : fresh;
   auto algorithm =
       options_.algorithm ? options_.algorithm : core::augment_heuristic;
   const auto result = algorithm(instance, options_.augment);
@@ -149,6 +156,9 @@ const mec::ShardMap& Orchestrator::shard_map() {
     for (std::size_t v = 0; v < network_.num_nodes(); ++v) {
       border_debit_[v].store(0.0, std::memory_order_relaxed);
     }
+    // Sized here, filled lazily: shard s's slot is only ever touched by
+    // the single worker serving shard s (see shard_arena()).
+    shard_arenas_.resize(shard_map_->num_shards());
     if (obs::enabled()) {
       auto& reg = obs::MetricsRegistry::global();
       reg.gauge("shard.count")
@@ -163,10 +173,37 @@ const mec::ShardMap& Orchestrator::shard_map() {
   return *shard_map_;
 }
 
+core::BmcgapArena& Orchestrator::serial_arena() {
+  if (serial_arena_ == nullptr) {
+    serial_arena_ =
+        std::make_unique<core::BmcgapArena>(core::BmcgapOptions{
+            .l_hops = options_.l_hops});
+  }
+  return *serial_arena_;
+}
+
+core::BmcgapArena& Orchestrator::shard_arena(std::size_t shard) {
+  MECRA_CHECK(shard < shard_arenas_.size());
+  auto& slot = shard_arenas_[shard];
+  if (slot == nullptr) {
+    slot = std::make_unique<core::BmcgapArena>(core::BmcgapOptions{
+        .l_hops = options_.l_hops});
+  }
+  return *slot;
+}
+
 util::ThreadPool* Orchestrator::batch_pool() {
   if (options_.batch.threads <= 1) return nullptr;
   if (pool_ == nullptr) {
-    pool_ = std::make_unique<util::ThreadPool>(options_.batch.threads);
+    // Clamp the worker count to the machine: results are per-index
+    // deterministic (bit-identical at every thread count, asserted in
+    // tests), so extra workers beyond the cores can only add wakeup and
+    // mutex contention on the per-window dispatch — the measured cause of
+    // the 4/8-thread throughput sag in BENCH_stream.json.
+    const std::size_t hw = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+    pool_ = std::make_unique<util::ThreadPool>(
+        std::min(options_.batch.threads, hw));
   }
   return pool_.get();
 }
@@ -212,9 +249,16 @@ void Orchestrator::admit_in_shard(const mec::SfcRequest& request,
                                        InstanceRole::kActive,
                                        InstanceState::kRunning});
     }
-    auto instance =
-        core::build_bmcgap(network_, catalog_, request, *primaries,
-                           {.l_hops = options_.l_hops}, *shard_map_);
+    core::BmcgapInstance fresh;
+    if (!options_.model_arena) {
+      fresh = core::build_bmcgap(network_, catalog_, request, *primaries,
+                                 {.l_hops = options_.l_hops}, *shard_map_);
+    }
+    const core::BmcgapInstance& instance =
+        options_.model_arena
+            ? shard_arena(shard).build(network_, catalog_, request,
+                                       *primaries, *shard_map_)
+            : fresh;
     auto algorithm =
         options_.algorithm ? options_.algorithm : core::augment_heuristic;
     auto result = algorithm(instance, options_.augment);
@@ -236,7 +280,8 @@ void Orchestrator::admit_in_shard(const mec::SfcRequest& request,
     }
     staged.svc = std::move(svc);
     if (options_.batch.record_audit) {
-      staged.instance = std::move(instance);
+      // Copy, not move: the arena path's instance lives in its cache.
+      staged.instance = instance;
       staged.result = std::move(result);
     }
     staged.admitted = true;
@@ -369,9 +414,17 @@ std::vector<std::optional<ServiceId>> Orchestrator::admit_batch(
                                          InstanceRole::kActive,
                                          InstanceState::kRunning});
       }
-      auto instance =
-          core::build_bmcgap(network_, catalog_, requests[i], *primaries,
-                             {.l_hops = options_.l_hops}, map);
+      core::BmcgapInstance fresh;
+      if (!options_.model_arena) {
+        fresh = core::build_bmcgap(network_, catalog_, requests[i],
+                                   *primaries, {.l_hops = options_.l_hops},
+                                   map);
+      }
+      const core::BmcgapInstance& instance =
+          options_.model_arena
+              ? serial_arena().build(network_, catalog_, requests[i],
+                                     *primaries, map)
+              : fresh;
       auto algorithm =
           options_.algorithm ? options_.algorithm : core::augment_heuristic;
       auto result = algorithm(instance, options_.augment);
@@ -389,7 +442,7 @@ std::vector<std::optional<ServiceId>> Orchestrator::admit_batch(
       staged[i].svc = std::move(svc);
       staged[i].via_fallback = true;
       if (options_.batch.record_audit) {
-        staged[i].instance = std::move(instance);
+        staged[i].instance = instance;
         staged[i].result = std::move(result);
       }
       staged[i].admitted = true;

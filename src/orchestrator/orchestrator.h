@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "core/augmentation.h"
+#include "core/bmcgap_arena.h"
 #include "mec/network.h"
 #include "mec/request.h"
 #include "mec/shard_map.h"
@@ -127,6 +128,12 @@ struct OrchestratorOptions {
                                          const core::AugmentOptions&)>
       algorithm;
   BatchOptions batch;
+  /// Build admission models through per-worker core::BmcgapArena instances
+  /// (skeleton memoization with residual-epoch invalidation) instead of a
+  /// fresh core::build_bmcgap per request. Placements and instance ids are
+  /// bit-identical either way (asserted in tests/batch_test.cpp); false
+  /// keeps the legacy fresh-build path for those equivalence tests.
+  bool model_arena = true;
 };
 
 /// Everything admit_batch decided for one batch, kept only when
@@ -200,6 +207,13 @@ class Orchestrator {
   /// BatchOptions::record_audit was set).
   [[nodiscard]] const BatchAudit& last_batch_audit() const noexcept {
     return batch_audit_;
+  }
+
+  /// The serial-path model arena (admit + the batch fallback pass), or
+  /// nullptr while unused / OrchestratorOptions::model_arena is off.
+  /// Exposed for cache-effectiveness assertions in tests.
+  [[nodiscard]] const core::BmcgapArena* model_arena() const noexcept {
+    return serial_arena_.get();
   }
 
   /// Shard that exclusively owns every instance of the service, or nullopt
@@ -355,6 +369,13 @@ class Orchestrator {
   /// border cloudlet (conservation audit; see admit_batch).
   void note_border_debit(graph::NodeId v, double amount);
 
+  /// Lazily-created model arenas (core/bmcgap_arena.h). The serial arena
+  /// serves admit() and the batch fallback pass (both driver-thread,
+  /// fallback under batch_mutex_); shard arena `s` is touched only by the
+  /// one worker serving shard s, so none of them needs a lock.
+  core::BmcgapArena& serial_arena();
+  core::BmcgapArena& shard_arena(std::size_t shard);
+
   mec::MecNetwork network_;
   mec::VnfCatalog catalog_;
   OrchestratorOptions options_;
@@ -380,6 +401,11 @@ class Orchestrator {
   /// worker escaped its shard.
   std::unique_ptr<std::atomic<double>[]> border_debit_;
   BatchAudit batch_audit_;
+  /// See serial_arena()/shard_arena(); shard_arenas_ is sized once when
+  /// the shard map is built and its slots are filled lazily, each by the
+  /// single worker that owns the shard.
+  std::unique_ptr<core::BmcgapArena> serial_arena_;
+  std::vector<std::unique_ptr<core::BmcgapArena>> shard_arenas_;
 };
 
 }  // namespace mecra::orchestrator

@@ -49,6 +49,9 @@ void StreamingService::start() {
     MECRA_CHECK_MSG(controller_ != nullptr && journal_ != nullptr,
                     "streaming: snapshot_on_start needs controller+journal");
     (void)journal_->snapshot(orch_, *controller_, options_.start_time);
+    // The start snapshot is the recovery anchor — make it durable before
+    // accepting events, whatever the journal's group-commit policy.
+    journal_->flush();
   }
   started_.store(true, std::memory_order_release);
   accepting_.store(true, std::memory_order_release);
@@ -394,6 +397,11 @@ void StreamingService::commit_ticket(CommitTicket& ticket) {
       for (PendingRecord& r : ticket.records) {
         (void)journal_->append(r.kind, r.time, std::move(r.data));
       }
+      // Group-commit boundary: under Durability::per_window the window's
+      // records were only framed into the journal's pending buffer; one
+      // flush persists them as a single contiguous write. A no-op under
+      // per_record (every append already flushed itself).
+      journal_->flush();
     } catch (const std::exception& e) {
       record_failure(e.what());
     }

@@ -81,8 +81,13 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
                              config.crash_times.end()));
   std::unique_ptr<orchestrator::Journal> journal;
   if (!config.journal_path.empty()) {
-    journal = std::make_unique<orchestrator::Journal>(config.journal_path);
+    journal = std::make_unique<orchestrator::Journal>(
+        config.journal_path, orchestrator::Journal::Mode::kTruncate,
+        config.journal_durability);
     journal->snapshot(*orch, *controller, 0.0);
+    // The t = 0 snapshot is the recovery anchor: durable regardless of the
+    // group-commit policy.
+    journal->flush();
   }
   double next_snapshot = journal != nullptr && config.snapshot_period > 0.0
                              ? config.snapshot_period
@@ -275,7 +280,8 @@ ChaosReport run_chaos(const mec::MecNetwork& base_network,
       controller = std::move(recovered.controller);
       m.replayed_events += recovered.replayed_events;
       journal = std::make_unique<orchestrator::Journal>(
-          config.journal_path, orchestrator::Journal::Mode::kContinue);
+          config.journal_path, orchestrator::Journal::Mode::kContinue,
+          config.journal_durability);
       continue;  // re-derive the merged stream from the recovered pair
     }
     if (now >= config.horizon) break;

@@ -33,6 +33,7 @@
 #include "mec/request.h"
 #include "mec/vnf.h"
 #include "orchestrator/controller.h"
+#include "orchestrator/journal.h"
 
 namespace mecra::sim {
 
@@ -102,6 +103,15 @@ struct ChaosConfig {
   /// `snapshot_period` of simulated time (0 = initial snapshot only).
   std::string journal_path;
   double snapshot_period = 0.0;
+  /// Journal group-commit policy (orchestrator::Durability). The default
+  /// keeps the historical flush-per-event discipline; bytes(N) batches
+  /// appends into N-byte groups (the serial event loop has no window
+  /// boundary, so a byte budget is the natural grouping). Crash-restart
+  /// drills stay bit-identical under any policy — closing the journal
+  /// before recovery flushes the pending group, exactly like the
+  /// uninterrupted file.
+  orchestrator::Durability journal_durability =
+      orchestrator::Durability::per_record();
   /// Crash-restart drill (requires journal_path): at each listed simulated
   /// time — ascending — the orchestrator + controller are destroyed and
   /// recovered from the journal before the next event is processed. The

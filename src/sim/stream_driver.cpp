@@ -101,7 +101,8 @@ StreamMetrics run_stream(const mec::MecNetwork& network,
   std::optional<orchestrator::Journal> journal;
   if (!config.journal_path.empty()) {
     journal.emplace(config.journal_path,
-                    orchestrator::Journal::Mode::kTruncate);
+                    orchestrator::Journal::Mode::kTruncate,
+                    config.durability);
   }
 
   // Per-ticket lifecycle draws are stateless (unit_draw/exp_draw above):

@@ -40,6 +40,7 @@
 #include "mec/network.h"
 #include "mec/request.h"
 #include "mec/vnf.h"
+#include "orchestrator/journal.h"
 #include "orchestrator/streaming.h"
 
 namespace mecra::sim {
@@ -90,6 +91,12 @@ struct StreamConfig {
   /// Journal the stream to this path (with an initial snapshot and
   /// periodic snapshots); empty runs without a journal.
   std::string journal_path;
+  /// Group-commit policy for the journal (orchestrator::Durability):
+  /// per_window batches each window's records into one write+flush on the
+  /// commit thread; per_record restores the historical flush-per-append;
+  /// bytes:<N> flushes on a byte budget. Bytes on disk are identical under
+  /// every policy.
+  orchestrator::Durability durability = orchestrator::Durability::per_window();
   std::size_t snapshot_every_windows = 0;
   /// Keep every WindowReport in StreamMetrics::windows (memory-heavy on
   /// long traces; meant for tests and report plots).

@@ -70,14 +70,26 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t chunk = (n + blocks - 1) / blocks;
   std::vector<std::future<void>> futures;
   futures.reserve(blocks);
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const std::size_t lo = b * chunk;
-    const std::size_t hi = std::min(n, lo + chunk);
-    if (lo >= hi) break;
-    futures.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
+  {
+    // One lock acquisition + one broadcast for the whole batch. Routing
+    // each block through submit() costs a mutex round-trip and a wakeup
+    // per block; on a hot caller that dispatches small batches at a high
+    // rate (the windowed admit_batch path) that handoff overhead rivals
+    // the per-block work itself and grows with the worker count.
+    const LockGuard lock(mutex_);
+    MECRA_CHECK_MSG(!stopping_, "parallel_for() on a stopped ThreadPool");
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t lo = b * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      if (lo >= hi) break;
+      std::packaged_task<void()> task([lo, hi, &fn] {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      });
+      futures.push_back(task.get_future());
+      queue_.push_back(std::move(task));
+    }
   }
+  cv_.notify_all();
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {

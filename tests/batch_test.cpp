@@ -9,6 +9,9 @@
 #include <tuple>
 #include <vector>
 
+#include "admission/admission.h"
+#include "core/bmcgap.h"
+#include "core/bmcgap_arena.h"
 #include "core/validator.h"
 #include "mec/shard_map.h"
 #include "orchestrator/orchestrator.h"
@@ -163,6 +166,93 @@ TEST(AdmitBatch, RepeatedBatchesStayDeterministic) {
     snaps.push_back(snapshot(orch));
   }
   EXPECT_EQ(snaps[0], snaps[1]);
+}
+
+/// Field-by-field bit equality of two BMCGAP instances (the struct has no
+/// operator== of its own).
+void expect_same_instance(const core::BmcgapInstance& a,
+                          const core::BmcgapInstance& b) {
+  ASSERT_EQ(a.functions.size(), b.functions.size());
+  for (std::size_t i = 0; i < a.functions.size(); ++i) {
+    EXPECT_EQ(a.functions[i].function, b.functions[i].function);
+    EXPECT_EQ(a.functions[i].primary, b.functions[i].primary);
+    EXPECT_EQ(a.functions[i].reliability, b.functions[i].reliability);
+    EXPECT_EQ(a.functions[i].demand, b.functions[i].demand);
+    EXPECT_EQ(a.functions[i].allowed, b.functions[i].allowed);
+    EXPECT_EQ(a.functions[i].max_secondaries, b.functions[i].max_secondaries);
+  }
+  EXPECT_EQ(a.items, b.items);
+  EXPECT_EQ(a.cloudlets, b.cloudlets);
+  EXPECT_EQ(a.residual, b.residual);
+  EXPECT_EQ(a.capacity, b.capacity);
+  EXPECT_EQ(a.initial_reliability, b.initial_reliability);
+  EXPECT_EQ(a.expectation, b.expectation);
+  EXPECT_EQ(a.budget, b.budget);
+  EXPECT_EQ(a.big_m, b.big_m);
+  EXPECT_EQ(a.l_hops, b.l_hops);
+}
+
+TEST(AdmitBatch, ModelArenaHitsRefreshesAndMatchesFreshBuilds) {
+  // Direct arena contract: an unchanged residual epoch yields a pure cache
+  // hit, a residual mutation forces a refresh, and every returned instance
+  // is bit-identical to a from-scratch core::build_bmcgap call.
+  const sim::Scenario s = big_scenario(29, 80, 0.7);
+  auto network = s.network;  // mutable copy: we poke residuals below
+  const auto requests = make_requests(s, 1, 0.9, 123);
+  util::Rng rng(55);
+  const auto primaries =
+      admission::random_admission(network, s.catalog, requests[0], rng);
+  ASSERT_TRUE(primaries.has_value());
+
+  core::BmcgapArena arena({.l_hops = 1});
+  const core::BmcgapInstance& first =
+      arena.build(network, s.catalog, requests[0], *primaries);
+  expect_same_instance(
+      first, core::build_bmcgap(network, s.catalog, requests[0], *primaries,
+                                {.l_hops = 1}));
+  EXPECT_EQ(arena.stats().misses, 1u);
+
+  // Same key, untouched residuals: skeleton reused wholesale.
+  (void)arena.build(network, s.catalog, requests[0], *primaries);
+  EXPECT_EQ(arena.stats().hits, 1u);
+
+  // A residual mutation anywhere bumps the epoch; the next build refreshes
+  // the residual-dependent parts and matches a fresh build again.
+  const graph::NodeId touched = first.cloudlets.front();
+  network.consume(touched, network.residual(touched) / 2.0);
+  const core::BmcgapInstance& refreshed =
+      arena.build(network, s.catalog, requests[0], *primaries);
+  EXPECT_EQ(arena.stats().refreshes, 1u);
+  expect_same_instance(
+      refreshed, core::build_bmcgap(network, s.catalog, requests[0],
+                                    *primaries, {.l_hops = 1}));
+}
+
+TEST(AdmitBatch, ArenaMatchesFreshModelsAcrossThreadCounts) {
+  // The end-to-end bit-identity sweep the arena ships under: repeated
+  // sharded batches with model_arena on, at 1/2/4/8 threads, must land on
+  // exactly the WorldSnap of the legacy build-every-model path.
+  const sim::Scenario s = big_scenario(19, 100, 0.5);
+
+  auto run = [&](bool arena, std::size_t threads) {
+    orchestrator::OrchestratorOptions opt;
+    opt.model_arena = arena;
+    opt.batch.threads = threads;
+    orchestrator::Orchestrator orch(s.network, s.catalog, opt);
+    util::Rng rng(31);
+    for (std::uint64_t round = 0; round < 3; ++round) {
+      const auto requests = make_requests(s, 25, 0.9, 300 + round);
+      (void)orch.admit_batch(requests, rng);
+    }
+    return snapshot(orch);
+  };
+
+  const WorldSnap fresh = run(false, 1);
+  ASSERT_FALSE(fresh.instances.empty());
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    EXPECT_EQ(run(true, threads), fresh) << "threads=" << threads;
+  }
 }
 
 TEST(AdmitBatch, BorderContentionPlansValidateAndCapacityConserves) {

@@ -248,6 +248,170 @@ TEST(JournalFraming, TornWriteFaultWedgesTheJournal) {
   EXPECT_FALSE(scan_journal(path).torn_tail);
 }
 
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Appends the same three records under the given policy; callers compare
+/// the resulting bytes.
+void write_three(const std::string& path, Durability durability) {
+  Journal journal(path, Journal::Mode::kTruncate, durability);
+  journal.reconcile_mark(1.0);
+  io::JsonObject data;
+  data.set("cloudlet", io::Json(7));
+  journal.append("repair", 2.0, io::Json(std::move(data)));
+  journal.reconcile_mark(3.0);
+  journal.flush();
+}
+
+TEST(GroupCommit, HandwrittenEnvelopeMatchesJsonObjectDump) {
+  // append() serializes the record envelope by hand (hot path); the bytes
+  // must equal the JsonObject-wrapper dump the original implementation
+  // produced — including the awkward-double time and string escaping.
+  const std::string path = temp_path("gc_envelope.journal");
+  {
+    Journal journal(path);
+    io::JsonObject data;
+    data.set("cloudlet", io::Json(7));
+    data.set("note", io::Json(std::string("a\"b\\c\n")));
+    journal.append("repair", 0.1, io::Json(std::move(data)));
+  }
+  const std::string bytes = file_bytes(path);
+  ASSERT_GT(bytes.size(), 8u);
+
+  io::JsonObject rec;
+  rec.set("v", io::Json(1));
+  rec.set("seq", io::Json(0));
+  rec.set("t", io::Json(0.1));
+  rec.set("kind", io::Json(std::string("repair")));
+  io::JsonObject data;
+  data.set("cloudlet", io::Json(7));
+  data.set("note", io::Json(std::string("a\"b\\c\n")));
+  rec.set("data", io::Json(std::move(data)));
+  EXPECT_EQ(bytes.substr(8), io::Json(std::move(rec)).dump());
+}
+
+TEST(GroupCommit, BytesAreByteIdenticalAcrossDurabilityPolicies) {
+  const std::string per_record = temp_path("gc_per_record.journal");
+  const std::string per_window = temp_path("gc_per_window.journal");
+  const std::string budget = temp_path("gc_bytes.journal");
+  write_three(per_record, Durability::per_record());
+  write_three(per_window, Durability::per_window());
+  write_three(budget, Durability::bytes(48));
+
+  const std::string baseline = file_bytes(per_record);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(file_bytes(per_window), baseline);
+  EXPECT_EQ(file_bytes(budget), baseline);
+
+  // Same records either way, and the scanner cannot tell who wrote them.
+  const JournalScan scan = scan_journal(per_window);
+  EXPECT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[2].seq, 2u);
+}
+
+TEST(GroupCommit, PerWindowBuffersUntilFlushAndDtorFlushesTheRest) {
+  const std::string path = temp_path("gc_buffering.journal");
+  {
+    Journal journal(path, Journal::Mode::kTruncate, Durability::per_window());
+    journal.reconcile_mark(1.0);
+    journal.reconcile_mark(2.0);
+    EXPECT_EQ(journal.buffered_records(), 2u);
+    EXPECT_GT(journal.buffered_bytes(), 0u);
+    // Nothing on disk until the group boundary.
+    EXPECT_TRUE(scan_journal(path).records.empty());
+    journal.flush();
+    EXPECT_EQ(journal.buffered_records(), 0u);
+    EXPECT_EQ(scan_journal(path).records.size(), 2u);
+    journal.reconcile_mark(3.0);
+    EXPECT_EQ(scan_journal(path).records.size(), 2u);
+    // Destruction flushes the pending tail (a clean shutdown loses nothing).
+  }
+  const JournalScan scan = scan_journal(path);
+  EXPECT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[2].time, 3.0);
+}
+
+TEST(GroupCommit, ByteBudgetFlushesOnceThresholdIsReached) {
+  const std::string path = temp_path("gc_budget.journal");
+  Journal journal(path, Journal::Mode::kTruncate, Durability::bytes(1 << 20));
+  journal.reconcile_mark(1.0);
+  const std::size_t one_frame = journal.buffered_bytes();
+  ASSERT_GT(one_frame, 0u);
+  // Shrink the budget below one frame: the next append must auto-flush
+  // everything pending.
+  journal.set_durability(Durability::bytes(1));
+  EXPECT_EQ(journal.buffered_records(), 0u);  // set_durability flushed
+  journal.reconcile_mark(2.0);
+  EXPECT_EQ(journal.buffered_records(), 0u);  // budget hit on append
+  EXPECT_EQ(scan_journal(path).records.size(), 2u);
+}
+
+TEST(GroupCommit, TornWriteInsideAGroupKeepsTheFlushedPrefix) {
+  util::FaultRegistry::global().clear();
+  const std::string path = temp_path("gc_torn_group.journal");
+  Journal journal(path, Journal::Mode::kTruncate, Durability::per_window());
+
+  // Group 1 flushes cleanly.
+  journal.reconcile_mark(1.0);
+  journal.reconcile_mark(2.0);
+  journal.flush();
+
+  // Group 2 tears mid-write: the cut lands inside the frame containing the
+  // buffer midpoint, so earlier frames of the group survive complete and
+  // that frame becomes the torn tail.
+  journal.reconcile_mark(3.0);
+  journal.reconcile_mark(4.0);
+  journal.reconcile_mark(5.0);
+  EXPECT_EQ(journal.buffered_records(), 3u);
+  util::FaultRegistry::global().arm("journal.torn_write",
+                                    util::FaultSpec{.times = 1});
+  EXPECT_THROW(journal.flush(), util::InjectedFault);
+  util::FaultRegistry::global().clear();
+  EXPECT_TRUE(journal.wedged());
+  EXPECT_EQ(journal.buffered_records(), 0u);
+  EXPECT_THROW(journal.reconcile_mark(6.0), util::CheckFailure);
+
+  const JournalScan scan = scan_journal(path);
+  EXPECT_TRUE(scan.torn_tail);
+  // Flushed prefix (2 records) + the torn group's complete frames before
+  // the midpoint cut (3 equal-size frames -> frame 1 of the group holds
+  // the midpoint, so exactly one more complete record).
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[2].time, 3.0);
+
+  // The restarted process truncates the tear and resumes the seq chain.
+  Journal resumed(path, Journal::Mode::kContinue, Durability::per_window());
+  EXPECT_EQ(resumed.next_seq(), 3u);
+  resumed.reconcile_mark(6.0);
+  resumed.flush();
+  const JournalScan rescanned = scan_journal(path);
+  EXPECT_FALSE(rescanned.torn_tail);
+  ASSERT_EQ(rescanned.records.size(), 4u);
+  EXPECT_EQ(rescanned.records[3].time, 6.0);
+}
+
+TEST(GroupCommit, DurabilityParseRoundTrips) {
+  EXPECT_EQ(Durability::parse("per_record").policy,
+            Durability::Policy::kPerRecord);
+  EXPECT_EQ(Durability::parse("per_window").policy,
+            Durability::Policy::kPerGroup);
+  const Durability b = Durability::parse("bytes:65536");
+  EXPECT_EQ(b.policy, Durability::Policy::kBytes);
+  EXPECT_EQ(b.byte_budget, 65536u);
+  EXPECT_EQ(Durability::per_window().to_string(), "per_window");
+  EXPECT_EQ(Durability::bytes(42).to_string(), "bytes:42");
+  EXPECT_EQ(Durability::parse(Durability::per_record().to_string()).policy,
+            Durability::Policy::kPerRecord);
+  EXPECT_THROW((void)Durability::parse("fsync_sometimes"),
+               util::CheckFailure);
+  EXPECT_THROW((void)Durability::parse("bytes:"), util::CheckFailure);
+  EXPECT_THROW((void)Durability::parse("bytes:0"), util::CheckFailure);
+}
+
 TEST(JournalRecovery, SnapshotOnlyRoundTripIsBitIdentical) {
   World w;
   Orchestrator orch(w.network, w.catalog, {});

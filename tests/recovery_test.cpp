@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "graph/topology.h"
@@ -42,6 +44,13 @@ ChaosConfig small_config() {
 
 std::string temp_path(const char* name) {
   return ::testing::TempDir() + name;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
 }
 
 /// Every field the two runs must agree on. The journal bookkeeping fields
@@ -111,6 +120,33 @@ TEST(Recovery, CrashRestartsSurviveBatchedAdmissionToo) {
 
   EXPECT_EQ(crashed.metrics.crash_restarts, 3u);
   expect_equivalent(baseline, crashed);
+}
+
+TEST(Recovery, GroupedJournalCrashDrillsStayBitIdentical) {
+  // Group commit on the serial chaos loop: a bytes(N) budget batches the
+  // event appends into multi-record physical writes, yet the crash drills
+  // and the final journal bytes must be indistinguishable from the
+  // historical flush-per-event run — closing the journal before each
+  // recovery flushes the pending group, exactly like an uninterrupted file.
+  const auto network = small_network(42);
+  const auto catalog = small_catalog(42);
+  ChaosConfig per_record = small_config();
+  per_record.journal_path = temp_path("recovery_grouped_base.journal");
+  per_record.snapshot_period = 7.0;
+  per_record.crash_times = {6.0, 14.0, 22.0};
+  const ChaosReport baseline = run_chaos(network, catalog, per_record, 7);
+
+  ChaosConfig grouped = per_record;
+  grouped.journal_path = temp_path("recovery_grouped.journal");
+  grouped.journal_durability = orchestrator::Durability::bytes(2048);
+  const ChaosReport crashed = run_chaos(network, catalog, grouped, 7);
+
+  EXPECT_EQ(crashed.metrics.crash_restarts, 3u);
+  EXPECT_EQ(crashed.metrics.journal_records,
+            baseline.metrics.journal_records);
+  expect_equivalent(baseline, crashed);
+  EXPECT_EQ(file_bytes(grouped.journal_path),
+            file_bytes(per_record.journal_path));
 }
 
 TEST(Recovery, JournaledRunWithoutCrashesMatchesTheBaselineToo) {

@@ -108,16 +108,20 @@ TEST(Streaming, BitIdenticalAcrossThreadCountsAndPipelining) {
   config.readmit_fraction = 0.25;
   config.window_width = 1.0;
 
+  // The sweep crosses thread counts, commit modes, AND journal durability
+  // policies: group commit batches the physical writes but must leave the
+  // bytes on disk identical to the flush-per-record baseline.
   struct Variant {
     std::size_t threads;
     bool pipelined;
+    Durability durability;
     const char* journal;
   };
   const std::vector<Variant> variants = {
-      {1, false, "stream_det_t1_inline.journal"},
-      {1, true, "stream_det_t1_pipe.journal"},
-      {2, true, "stream_det_t2_pipe.journal"},
-      {4, true, "stream_det_t4_pipe.journal"},
+      {1, false, Durability::per_record(), "stream_det_t1_inline.journal"},
+      {1, true, Durability::per_window(), "stream_det_t1_pipe.journal"},
+      {2, true, Durability::bytes(4096), "stream_det_t2_pipe.journal"},
+      {4, true, Durability::per_window(), "stream_det_t4_pipe.journal"},
   };
   std::vector<sim::StreamMetrics> metrics;
   std::vector<std::string> journals;
@@ -125,6 +129,7 @@ TEST(Streaming, BitIdenticalAcrossThreadCountsAndPipelining) {
     sim::StreamConfig c = config;
     c.threads = v.threads;
     c.pipelined_commit = v.pipelined;
+    c.durability = v.durability;
     c.journal_path = temp_path(v.journal);
     metrics.push_back(sim::run_stream(network, catalog, c, 7));
     journals.push_back(file_bytes(c.journal_path));
@@ -399,6 +404,75 @@ TEST(Streaming, TornJournalWriteWedgesStreamWithoutDeadlock) {
   const JournalScan scan = scan_journal(path);
   ASSERT_FALSE(scan.records.empty());
   EXPECT_EQ(scan.records[0].kind, "snapshot");
+}
+
+// Group-commit crash consistency: under per-window durability a whole
+// window's records reach the disk as ONE physical write, and the torn-write
+// fault tears INSIDE that group. The recovered prefix must be exactly the
+// flushed bytes — the start snapshot plus the torn group's complete leading
+// frames — and kContinue must truncate the torn frame and resume cleanly.
+TEST(Streaming, TornWriteMidGroupRecoversToFlushedPrefix) {
+  util::FaultRegistry::global().clear();
+  const auto network = small_network(6);
+  const auto catalog = small_catalog(6);
+  const std::string path = temp_path("stream_torn_group.journal");
+  util::Rng rng(11);
+  {
+    Orchestrator orch(network, catalog, {});
+    Controller controller(orch);
+    Journal journal(path, Journal::Mode::kTruncate,
+                    Durability::per_window());
+    // Hit 1 is the start() snapshot flush; hit 2 is the first window's
+    // group — several records, torn mid-frame by the fault point.
+    util::FaultRegistry::global().arm("journal.torn_write",
+                                      util::FaultSpec{.skip = 1});
+    StreamingOptions opt;
+    opt.window_width = 1.0;
+    opt.snapshot_on_start = true;
+    StreamingService service(orch, std::move(opt), &controller, &journal);
+    service.start();
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      auto req =
+          mec::random_request(i, catalog, network.num_nodes(), {}, rng);
+      ASSERT_EQ(service.submit_arrival(std::move(req),
+                                       0.2 + 0.1 * static_cast<double>(i), i),
+                SubmitStatus::kAccepted);
+    }
+    service.flush(1.0);
+    service.wait_flushes_processed(1);
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (!service.failed() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+    ASSERT_TRUE(service.failed());
+    EXPECT_TRUE(journal.wedged());
+    EXPECT_EQ(journal.buffered_records(), 0u);
+    service.stop();
+    util::FaultRegistry::global().clear();
+  }
+  // The flushed prefix survives: the snapshot frame is intact and the torn
+  // group contributes only complete frames before the cut.
+  const JournalScan scan = scan_journal(path);
+  EXPECT_TRUE(scan.torn_tail);
+  ASSERT_FALSE(scan.records.empty());
+  EXPECT_EQ(scan.records[0].kind, "snapshot");
+  for (const JournalRecord& r : scan.records) {
+    EXPECT_NE(r.kind, "reconcile");  // the group's LAST record never lands
+  }
+  // Recovery tooling replays that prefix without complaint...
+  const Recovered rec = recover(path, {});
+  ASSERT_NE(rec.orch, nullptr);
+  EXPECT_EQ(rec.last_seq, scan.records.back().seq);
+  // ...and kContinue truncates the torn frame so appends resume the chain.
+  {
+    Journal resumed(path, Journal::Mode::kContinue, Durability::per_window());
+    EXPECT_EQ(resumed.next_seq(), scan.records.back().seq + 1);
+    resumed.append("repair", 9.0, io::Json(io::JsonObject{}));
+  }  // dtor flushes the pending single-record group
+  const JournalScan rescanned = scan_journal(path);
+  EXPECT_FALSE(rescanned.torn_tail);
+  EXPECT_EQ(rescanned.records.size(), scan.records.size() + 1);
+  EXPECT_EQ(rescanned.records.back().kind, "repair");
 }
 
 // The determinism contract's recovery clause: a journaled stream killed
